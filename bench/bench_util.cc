@@ -1,0 +1,114 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace thrifty {
+namespace bench {
+
+Workload GenerateWorkload(const QueryCatalog& catalog,
+                          const ExperimentConfig& config) {
+  Rng rng(config.seed);
+  SessionLibrary library(&catalog, {2, 4, 8, 16, 32},
+                         config.sessions_per_class, rng.Fork(1));
+
+  PopulationOptions pop;
+  pop.zipf_theta = config.zipf_theta;
+  Rng pop_rng = rng.Fork(2);
+  auto tenants = GenerateTenantPopulation(config.num_tenants, pop, &pop_rng);
+  if (!tenants.ok()) {
+    std::cerr << "population generation failed: " << tenants.status() << "\n";
+    std::exit(1);
+  }
+
+  Workload workload;
+  workload.tenants = std::move(tenants).value();
+  LogComposerOptions composer_options = config.composer;
+  composer_options.horizon_days = config.horizon_days;
+  LogComposer composer(&library, composer_options);
+  Rng compose_rng = rng.Fork(3);
+  auto activity = composer.ComposeActivity(&workload.tenants, &compose_rng);
+  if (!activity.ok()) {
+    std::cerr << "log composition failed: " << activity.status() << "\n";
+    std::exit(1);
+  }
+  workload.activity = std::move(activity).value();
+  workload.horizon_end = composer.horizon_end();
+
+  // Activity-ratio diagnostics (the paper reports 8.9%-12% for Table 7.1
+  // parameters).
+  double total_active = 0;
+  for (const auto& set : workload.activity) {
+    total_active += static_cast<double>(set.TotalLength());
+  }
+  workload.average_active_ratio =
+      total_active / (static_cast<double>(workload.horizon_end) *
+                      static_cast<double>(workload.activity.size()));
+  return workload;
+}
+
+std::vector<ActivityVector> EpochizeWorkload(const Workload& workload,
+                                             SimDuration epoch_size) {
+  EpochConfig epochs;
+  epochs.epoch_size = epoch_size;
+  epochs.begin = 0;
+  epochs.end = workload.horizon_end;
+  std::vector<ActivityVector> vectors;
+  vectors.reserve(workload.tenants.size());
+  for (size_t i = 0; i < workload.tenants.size(); ++i) {
+    vectors.push_back(ActivityVector::FromBitmap(
+        workload.tenants[i].id,
+        IntervalsToBitmap(workload.activity[i], epochs)));
+  }
+  return vectors;
+}
+
+SolverRow RunSolver(GroupingSolver solver, const Workload& workload,
+                    const std::vector<ActivityVector>& vectors,
+                    int replication_factor, double sla_fraction) {
+  auto problem = MakePackingProblem(workload.tenants, vectors,
+                                    replication_factor, sla_fraction);
+  if (!problem.ok()) {
+    std::cerr << "problem construction failed: " << problem.status() << "\n";
+    std::exit(1);
+  }
+  auto solution = solver == GroupingSolver::kTwoStep ? SolveTwoStep(*problem)
+                                                     : SolveFfd(*problem);
+  if (!solution.ok()) {
+    std::cerr << "solver failed: " << solution.status() << "\n";
+    std::exit(1);
+  }
+  Status valid = VerifySolution(*problem, *solution);
+  if (!valid.ok()) {
+    std::cerr << "solution verification failed: " << valid << "\n";
+    std::exit(1);
+  }
+  SolverRow row;
+  row.solver = solver == GroupingSolver::kTwoStep ? "2-step" : "FFD";
+  row.nodes_requested = problem->TotalRequestedNodes();
+  row.nodes_used = solution->NodesUsed(replication_factor);
+  row.effectiveness = solution->ConsolidationEffectiveness(
+      replication_factor, row.nodes_requested);
+  row.average_group_size = solution->AverageGroupSize();
+  row.solve_seconds = solution->solve_seconds;
+  row.num_groups = solution->groups.size();
+  return row;
+}
+
+std::vector<SolverRow> RunBothSolvers(
+    const Workload& workload, const std::vector<ActivityVector>& vectors,
+    int replication_factor, double sla_fraction) {
+  return {
+      RunSolver(GroupingSolver::kFfd, workload, vectors, replication_factor,
+                sla_fraction),
+      RunSolver(GroupingSolver::kTwoStep, workload, vectors,
+                replication_factor, sla_fraction),
+  };
+}
+
+void PrintBanner(const std::string& title, const std::string& description) {
+  std::cout << "\n=== " << title << " ===\n" << description << "\n\n";
+}
+
+}  // namespace bench
+}  // namespace thrifty

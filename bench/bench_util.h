@@ -1,0 +1,82 @@
+// Shared harness code for the paper-reproduction benches (Fig 7.1-7.6).
+//
+// Each bench generates a §7.1 tenant workload, epochizes activity, runs the
+// FFD baseline and the two-step heuristic, and prints the same series the
+// paper's figures report: consolidation effectiveness (% nodes saved),
+// average tenant-group size, and algorithm execution time.
+
+#ifndef THRIFTY_BENCH_BENCH_UTIL_H_
+#define THRIFTY_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/thrifty.h"
+
+namespace thrifty {
+namespace bench {
+
+/// \brief Parameters of one experiment run (defaults = Table 7.1 defaults,
+/// with a 14-day horizon instead of 30 days to bound bench runtime; see
+/// EXPERIMENTS.md).
+struct ExperimentConfig {
+  int num_tenants = 5000;
+  double zipf_theta = 0.8;
+  int replication_factor = 3;
+  double sla_fraction = 0.999;
+  SimDuration epoch_size = 10 * kSecond;
+  int horizon_days = 14;
+  /// Step-1 sessions generated per (node size, suite) class; the paper
+  /// used 100.
+  int sessions_per_class = 25;
+  uint64_t seed = 42;
+  LogComposerOptions composer;
+};
+
+/// \brief A generated multi-tenant workload (activity-only form).
+struct Workload {
+  std::vector<TenantSpec> tenants;
+  std::vector<IntervalSet> activity;
+  SimTime horizon_end = 0;
+  double average_active_ratio = 0;
+};
+
+/// \brief Runs §7.1 Steps 1+2 (activity-only composition).
+Workload GenerateWorkload(const QueryCatalog& catalog,
+                          const ExperimentConfig& config);
+
+/// \brief Epochizes a workload's activity.
+std::vector<ActivityVector> EpochizeWorkload(const Workload& workload,
+                                             SimDuration epoch_size);
+
+/// \brief Result row of one solver run.
+struct SolverRow {
+  std::string solver;
+  double effectiveness = 0;       // fraction of requested nodes saved
+  double average_group_size = 0;  // tenants per tenant-group
+  double solve_seconds = 0;
+  int64_t nodes_used = 0;
+  int64_t nodes_requested = 0;
+  size_t num_groups = 0;
+};
+
+/// \brief Runs one solver over the epochized problem (verifying the
+/// solution) and summarizes it.
+SolverRow RunSolver(GroupingSolver solver, const Workload& workload,
+                    const std::vector<ActivityVector>& vectors,
+                    int replication_factor, double sla_fraction);
+
+/// \brief Runs FFD then the two-step heuristic.
+std::vector<SolverRow> RunBothSolvers(const Workload& workload,
+                                      const std::vector<ActivityVector>&
+                                          vectors,
+                                      int replication_factor,
+                                      double sla_fraction);
+
+/// \brief Prints a figure banner.
+void PrintBanner(const std::string& title, const std::string& description);
+
+}  // namespace bench
+}  // namespace thrifty
+
+#endif  // THRIFTY_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark) for Thrifty's hot paths: the
+// level-set candidate evaluation that dominates tenant grouping, Algorithm 1
+// routing decisions, processor-sharing instance event handling, and epoch
+// discretization.
+
+#include <benchmark/benchmark.h>
+
+#include "core/thrifty.h"
+
+namespace thrifty {
+namespace {
+
+std::vector<ActivityVector> MakeOfficeHourTenants(size_t count,
+                                                  size_t num_epochs,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ActivityVector> out;
+  for (TenantId id = 0; id < static_cast<TenantId>(count); ++id) {
+    DynamicBitmap bits(num_epochs);
+    size_t day = num_epochs / 14 == 0 ? num_epochs : num_epochs / 14;
+    for (size_t d = 0; d + day <= num_epochs; d += day) {
+      size_t start = d + rng.NextBounded(day / 2 + 1);
+      bits.SetRange(start, start + day / 10 + rng.NextBounded(day / 10 + 1));
+    }
+    out.push_back(ActivityVector::FromBitmap(id, bits));
+  }
+  return out;
+}
+
+void BM_LevelSetEvaluateAdd(benchmark::State& state) {
+  size_t num_epochs = static_cast<size_t>(state.range(0));
+  auto tenants = MakeOfficeHourTenants(20, num_epochs, 7);
+  GroupLevelSet group(num_epochs);
+  for (size_t i = 0; i < 10; ++i) group.Add(tenants[i]);
+  size_t next = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.EvaluateAdd(tenants[next]));
+    next = next == 19 ? 10 : next + 1;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LevelSetEvaluateAdd)->Arg(10'000)->Arg(120'000)->Arg(1'200'000);
+
+void BM_LevelSetAddRemove(benchmark::State& state) {
+  size_t num_epochs = static_cast<size_t>(state.range(0));
+  auto tenants = MakeOfficeHourTenants(12, num_epochs, 11);
+  GroupLevelSet group(num_epochs);
+  for (size_t i = 0; i < 11; ++i) group.Add(tenants[i]);
+  for (auto _ : state) {
+    group.Add(tenants[11]);
+    benchmark::DoNotOptimize(group.Ttp(3));
+    Status st = group.Remove(tenants[11]);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LevelSetAddRemove)->Arg(120'000);
+
+void BM_RoutingDecision(benchmark::State& state) {
+  SimEngine engine;
+  std::vector<std::unique_ptr<MppdbInstance>> instances;
+  std::vector<MppdbInstance*> raw;
+  for (InstanceId id = 0; id < 3; ++id) {
+    instances.push_back(std::make_unique<MppdbInstance>(id, 4, &engine));
+    raw.push_back(instances.back().get());
+  }
+  GroupRouter router(0, raw);
+  TenantId tenant = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.Route(tenant));
+    tenant = (tenant + 1) % 30;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RoutingDecision);
+
+void BM_ProcessorSharingChurn(benchmark::State& state) {
+  // Submit/complete churn with the given steady concurrency.
+  int concurrency = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimEngine engine;
+    MppdbInstance instance(0, 8, &engine);
+    instance.AddTenant(0, 100);
+    QueryTemplate tmpl;
+    tmpl.id = 0;
+    tmpl.work_seconds_per_gb = 0.4;
+    state.ResumeTiming();
+    for (int q = 0; q < 200; ++q) {
+      QuerySubmission s;
+      s.query_id = q;
+      s.tenant_id = 0;
+      benchmark::DoNotOptimize(instance.Submit(s, tmpl));
+      if (instance.Concurrency() >= concurrency) {
+        engine.Step();  // drive one completion
+      }
+    }
+    engine.Run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 200);
+}
+BENCHMARK(BM_ProcessorSharingChurn)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_IntervalsToBitmap(benchmark::State& state) {
+  Rng rng(13);
+  IntervalSet set;
+  for (int i = 0; i < 2000; ++i) {
+    SimTime begin = rng.NextInt(0, 14 * kDay - kHour);
+    set.Add(begin, begin + rng.NextInt(kSecond, kHour));
+  }
+  EpochConfig epochs{10 * kSecond, 0, 14 * kDay};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntervalsToBitmap(set, epochs));
+  }
+}
+BENCHMARK(BM_IntervalsToBitmap);
+
+void BM_RtTtpUpdateAndQuery(benchmark::State& state) {
+  RtTtpMonitor monitor(3, 24 * kHour);
+  SimTime now = 0;
+  int count = 0;
+  Rng rng(17);
+  for (auto _ : state) {
+    now += static_cast<SimTime>(rng.NextInt(1, 60)) * kSecond;
+    count = static_cast<int>(rng.NextInt(0, 6));
+    monitor.OnActiveCountChange(now, count);
+    benchmark::DoNotOptimize(monitor.RtTtp(now));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RtTtpUpdateAndQuery);
+
+}  // namespace
+}  // namespace thrifty
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Capacity tuning walkthrough (Chapter 6): when a tenant-group's RT-TTP
+// sits just below the SLA guarantee, a system administrator can raise U —
+// the tuning MPPDB's node count — instead of paying hours of elastic
+// scaling. This example shows the decision procedure and demonstrates the
+// effect of a larger MPPDB_0 on overflow queries.
+
+#include <iostream>
+
+#include "core/thrifty.h"
+
+namespace {
+
+using namespace thrifty;
+
+// Latency of one overflow scenario: `active` tenants each run one TPC-H Q1
+// concurrently on a group whose MPPDBs have `u` nodes for MPPDB_0 and n_1
+// nodes otherwise. Returns the worst normalized performance (vs the 4-node
+// dedicated SLA).
+double WorstNormalizedPerformance(int u, int active) {
+  SimEngine engine;
+  QueryCatalog catalog = QueryCatalog::Default();
+  const QueryTemplate& q1 = catalog.Get(*catalog.FindByName("TPCH-Q1"));
+  const int n1 = 4;
+  std::vector<std::unique_ptr<MppdbInstance>> instances;
+  std::vector<MppdbInstance*> raw;
+  const int mppdb_nodes[] = {u, n1, n1};
+  for (InstanceId id = 0; id < 3; ++id) {
+    instances.push_back(
+        std::make_unique<MppdbInstance>(id, mppdb_nodes[id], &engine));
+    for (TenantId t = 0; t < 8; ++t) {
+      instances.back()->AddTenant(t, 100.0 * n1);
+    }
+    raw.push_back(instances.back().get());
+  }
+  GroupRouter router(0, raw);
+  double worst = 0;
+  SimDuration sla = q1.DedicatedLatency(100.0 * n1, n1);
+  for (auto& instance : instances) {
+    instance->set_completion_callback([&](const QueryCompletion& c) {
+      worst = std::max(worst, static_cast<double>(c.MeasuredLatency()) /
+                                  static_cast<double>(sla));
+    });
+  }
+  for (TenantId t = 0; t < active; ++t) {
+    auto decision = router.Route(t);
+    if (!decision.ok()) std::exit(1);
+    QuerySubmission s;
+    s.query_id = t;
+    s.tenant_id = t;
+    if (!decision->instance->Submit(s, q1).ok()) std::exit(1);
+  }
+  engine.Run();
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Chapter 6 scenario: a group of 4-node tenants, A = R = 3\n"
+               "MPPDBs, P = 99.9%. The RT-TTP dipped to 99.8% but is flat.\n\n";
+
+  // Step 1: ask the advisor what to do.
+  auto advice = AdviseTuning(/*rt_ttp=*/0.998, /*trending_down=*/false,
+                             /*sla=*/0.999, /*n1=*/4,
+                             /*current_u=*/4, /*u_max=*/16,
+                             /*overflow_concurrency=*/1);
+  if (!advice.ok()) {
+    std::cerr << advice.status() << "\n";
+    return 1;
+  }
+  std::cout << "Tuning advisor says: " << TuningActionToString(advice->action)
+            << " (U " << 4 << " -> " << advice->recommended_tuning_nodes
+            << ")\n\n";
+
+  // Step 2: show why. With U = n_1, a fourth active tenant overflowing to
+  // MPPDB_0 makes two queries share 4 nodes (2x slowdown). With the
+  // recommended U, the shared MPPDB_0 still gives each query >= n_1 nodes
+  // of service rate.
+  TablePrinter table({"U (MPPDB_0 nodes)", "4th tenant overflow:",
+                      "worst normalized perf", "SLA met?"});
+  for (int u : {4, 6, 8, 10, 12}) {
+    double worst = WorstNormalizedPerformance(u, 4);
+    table.AddRow({std::to_string(u), "2 queries share MPPDB_0",
+                  FormatDouble(worst, 2), worst <= 1.001 ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+
+  std::cout
+      << "\nThe advisor's U = " << advice->recommended_tuning_nodes
+      << " is the linear-scale-out estimate (U/k >= n_1, the paper's Point\n"
+         "C in Fig 1.1b); it brings the overflow query within ~4% of its\n"
+         "SLA. TPC-H Q1's small serial fraction does not speed up with\n"
+         "extra nodes, so meeting the SLA *exactly* needs a little more —\n"
+         "the table shows U = 10 suffices. This is precisely why the paper\n"
+         "calls the empirical headroom of MPPDB_0 a manual, administrator-\n"
+         "driven knob rather than a guarantee.\n";
+  return 0;
+}

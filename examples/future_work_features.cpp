@@ -1,0 +1,111 @@
+// Chapter 8 walk-through: the paper's future-work directions, implemented.
+//
+//  1. Heterogeneous clusters — assemble a tenant-group's MPPDBs from a
+//     mixed pool of fast/standard/slow machines.
+//  2. Divergent design for report-generation tenants — replicas with
+//     different partition layouts plus an upfront U > n_1 tuning MPPDB
+//     sized for the expected report MPL.
+//  3. Proactive elastic scaling — the §5.1 trend-predictor alternative.
+//  4. Plan persistence — save/load deployment plans (plans are static for
+//     days, so they outlive the advisor process).
+
+#include <iostream>
+#include <sstream>
+
+#include "core/thrifty.h"
+
+int main() {
+  using namespace thrifty;
+  QueryCatalog catalog = QueryCatalog::Default();
+
+  // --- 1. Heterogeneous cluster design ----------------------------------
+  std::cout << "1) Heterogeneous cluster design\n";
+  NodeInventory inventory;
+  inventory.classes = {{"c5.4xlarge", 6, 2.0},
+                       {"m5.2xlarge", 12, 1.0},
+                       {"m4.xlarge", 10, 0.5}};
+  auto hetero = DesignHeterogeneousGroupCluster(&inventory,
+                                                /*largest_tenant_nodes=*/6,
+                                                /*num_mppdbs=*/3);
+  if (!hetero.ok()) {
+    std::cerr << hetero.status() << "\n";
+    return 1;
+  }
+  TablePrinter hetero_table({"MPPDB", "allocation", "effective capability"});
+  for (size_t m = 0; m < hetero->size(); ++m) {
+    std::string alloc;
+    for (auto [cls, count] : (*hetero)[m].allocation) {
+      alloc += std::to_string(count) + "x" + inventory.classes[cls].name + " ";
+    }
+    hetero_table.AddRow({std::to_string(m), alloc,
+                         FormatDouble((*hetero)[m].effective_capability, 1)});
+  }
+  hetero_table.Print(std::cout);
+
+  // --- 2. Divergent design for a report-only tenant class ---------------
+  std::cout << "\n2) Divergent design (report-generation tenants)\n";
+  TemplateId q1 = *catalog.FindByName("TPCH-Q1");
+  TemplateId q9 = *catalog.FindByName("TPCH-Q9");
+  TemplateId q19 = *catalog.FindByName("TPCH-Q19");
+  std::vector<PartitionLayout> layouts = {
+      {"scan-friendly", {{q1, 2.0}, {q9, 1.2}}},
+      {"join-friendly", {{q9, 2.2}, {q19, 1.8}}},
+      {"co-partitioned", {{q19, 2.5}}},
+  };
+  DivergentDesignOptions divergent_options;
+  divergent_options.expected_mpl = 2;
+  auto divergent = PlanDivergentGroup(/*largest_tenant_nodes=*/4,
+                                      /*total_requested_nodes=*/56,
+                                      /*num_mppdbs=*/3, {q1, q9, q19},
+                                      layouts, divergent_options);
+  if (!divergent.ok()) {
+    std::cerr << divergent.status() << "\n";
+    return 1;
+  }
+  std::cout << "  MPPDB_0 gets U = " << divergent->cluster.tuning_nodes()
+            << " nodes (vs n_1 = 4) to absorb MPL "
+            << divergent_options.expected_mpl << " report batches;\n"
+            << "  replica layouts:";
+  for (size_t layout : divergent->replica_layouts) {
+    std::cout << " " << layouts[layout].name;
+  }
+  std::cout << "\n  worst template's best speedup across replicas: "
+            << FormatDouble(divergent->worst_template_best_speedup, 2)
+            << "x\n";
+
+  // --- 3. Proactive scaling: the trend predictor ------------------------
+  std::cout << "\n3) Proactive RT-TTP trend prediction\n";
+  RtTtpTrendPredictor predictor;
+  for (int h = 0; h < 10; ++h) {
+    predictor.AddSample(h * kHour, 1.0 - 0.0004 * h);
+  }
+  auto breach = predictor.PredictsBreach(0.999, /*lead=*/6 * kHour,
+                                         /*now=*/9 * kHour);
+  std::cout << "  slope "
+            << FormatDouble(*predictor.SlopePerHour() * 1000, 2)
+            << "e-3 RT-TTP/hour; breach of P=99.9% within 6h predicted: "
+            << (breach.ok() && *breach ? "yes" : "no") << "\n";
+
+  // --- 4. Plan persistence ----------------------------------------------
+  std::cout << "\n4) Plan save/load round trip\n";
+  DeploymentPlan plan;
+  plan.replication_factor = 3;
+  plan.sla_fraction = 0.999;
+  GroupDeployment group;
+  group.group_id = 0;
+  TenantSpec tenant{0, 4, 400, QuerySuite::kTpch, 3, 2};
+  group.tenants.push_back(tenant);
+  group.cluster = *DesignGroupCluster(4, 4, 3);
+  plan.groups.push_back(group);
+  std::stringstream buffer;
+  if (!WriteDeploymentPlan(plan, buffer).ok()) return 1;
+  auto loaded = ReadDeploymentPlan(buffer);
+  if (!loaded.ok()) {
+    std::cerr << loaded.status() << "\n";
+    return 1;
+  }
+  std::cout << "  plan of " << loaded->groups.size()
+            << " group(s) survives a round trip ("
+            << loaded->TotalNodesUsed() << " nodes).\n";
+  return 0;
+}

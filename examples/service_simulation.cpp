@@ -1,0 +1,125 @@
+// End-to-end MPPDBaaS simulation: plan, deploy, replay history, and watch
+// lightweight elastic scaling react to an over-active tenant.
+//
+// This is the workflow of Chapter 3's architecture: Tenant Activity Monitor
+// feeds the Deployment Advisor, the Deployment Master starts the MPPDBs,
+// the Query Router applies Algorithm 1, and when run-time behaviour
+// deviates from history the elastic scaler moves the over-active tenant to
+// a freshly loaded MPPDB (§5.1).
+//
+// Usage: service_simulation [tenants] [replay_days]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/thrifty.h"
+
+int main(int argc, char** argv) {
+  using namespace thrifty;
+
+  int num_tenants = argc > 1 ? std::atoi(argv[1]) : 24;
+  int replay_days = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (num_tenants < 4 || replay_days < 2) {
+    std::cerr << "usage: " << argv[0] << " [tenants>=4] [replay_days>=2]\n";
+    return 2;
+  }
+
+  QueryCatalog catalog = QueryCatalog::Default();
+  Rng rng(99);
+  SessionLibrary library(&catalog, {2, 4}, /*sessions_per_class=*/10,
+                         rng.Fork(1));
+  PopulationOptions population;
+  population.node_sizes = {2, 4};
+  Rng pop_rng = rng.Fork(2);
+  std::vector<TenantSpec> tenants =
+      *GenerateTenantPopulation(num_tenants, population, &pop_rng);
+  LogComposerOptions composer_options;
+  composer_options.horizon_days = replay_days;
+  LogComposer composer(&library, composer_options);
+  Rng compose_rng = rng.Fork(3);
+  std::vector<TenantLog> history = *composer.Compose(&tenants, &compose_rng);
+
+  AdvisorOptions advisor_options;
+  advisor_options.replication_factor = 2;
+  advisor_options.sla_fraction = 0.99;
+  DeploymentAdvisor advisor(advisor_options);
+  AdvisorOutput advice =
+      *advisor.Advise(tenants, history, 0, composer.horizon_end());
+  advice.plan.PrintSummary(std::cout);
+
+  SimEngine engine;
+  // Head-room of 8 nodes for elastic scaling.
+  Cluster cluster(static_cast<int>(advice.plan.TotalNodesUsed()) + 8,
+                  &engine);
+  ServiceOptions service_options;
+  service_options.replication_factor = advisor_options.replication_factor;
+  service_options.sla_fraction = advisor_options.sla_fraction;
+  service_options.elastic_scaling = true;
+  service_options.scaling.warmup = 20 * kHour;
+  service_options.scaling.check_interval = 10 * kMinute;
+  ThriftyService service(&engine, &cluster, &catalog, service_options);
+  if (Status st = service.Deploy(advice.plan); !st.ok()) {
+    std::cerr << "deploy failed: " << st << "\n";
+    return 1;
+  }
+  if (Status st = service.ScheduleLogReplay(history); !st.ok()) {
+    std::cerr << "replay failed: " << st << "\n";
+    return 1;
+  }
+
+  // One tenant goes rogue on day 1 and hammers the service with
+  // near-continuous Q1s (~9 s each on its 2-node class, one every 12 s).
+  TenantId rogue = advice.plan.groups[0].tenants[0].id;
+  TemplateId q1 = *catalog.FindByName("TPCH-Q1");
+  SimTime horizon = static_cast<SimTime>(replay_days) * kDay;
+  for (SimTime t = 26 * kHour; t < horizon; t += 12 * kSecond) {
+    engine.ScheduleAt(t, [&service, rogue, q1](SimTime) {
+      (void)service.SubmitQuery(rogue, q1);
+    });
+  }
+  std::cout << "\nReplaying " << replay_days << " days of history; tenant "
+            << rogue << " is taken over at t=26h...\n";
+
+  engine.RunUntil(horizon);
+
+  const ServiceMetrics& metrics = service.metrics();
+  std::cout << "\nQueries completed:  " << metrics.completed << "\n"
+            << "SLA attainment:     "
+            << FormatPercent(metrics.SlaAttainment(), 2) << "\n"
+            << "p50 / p99 normalized performance: "
+            << FormatDouble(metrics.normalized_performance.Percentile(0.5), 2)
+            << " / "
+            << FormatDouble(metrics.normalized_performance.Percentile(0.99), 2)
+            << "\n"
+            << "Nodes in use:       " << cluster.nodes_in_use() << " of "
+            << cluster.total_nodes() << "\n";
+
+  std::cout << "\n";
+  auto report = BuildStatusReport(&service);
+  if (report.ok()) PrintStatusReport(*report, std::cout);
+
+  if (service.scaler() != nullptr) {
+    for (const auto& event : service.scaler()->events()) {
+      std::cout << "\nElastic scaling event in group " << event.group_id
+                << ": detected at t="
+                << FormatDouble(DurationToSeconds(event.detected_time) / 3600,
+                                1)
+                << "h, over-active tenant(s):";
+      for (TenantId t : event.tenants) std::cout << " " << t;
+      if (event.ready_time > 0) {
+        std::cout << ", dedicated " << event.new_mppdb_nodes
+                  << "-node MPPDB online at t="
+                  << FormatDouble(DurationToSeconds(event.ready_time) / 3600,
+                                  1)
+                  << "h";
+      } else {
+        std::cout << ", new MPPDB still loading at the end of the run";
+      }
+      std::cout << "\n";
+    }
+    if (service.scaler()->events().empty()) {
+      std::cout << "\nNo elastic scaling was needed.\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "activity/activity_monitor.h"
+
+#include <string>
+
+namespace thrifty {
+
+TenantActivityTracker::TenantActivityTracker(SimDuration history_retention)
+    : history_retention_(history_retention) {}
+
+void TenantActivityTracker::OnQueryStart(TenantId tenant, SimTime now) {
+  TenantState& state = tenants_[tenant];
+  if (state.running == 0) {
+    state.active_since = now;
+    if (on_transition_) on_transition_(tenant, true, now);
+  }
+  ++state.running;
+}
+
+Status TenantActivityTracker::OnQueryFinish(TenantId tenant, SimTime now) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.running == 0) {
+    return Status::FailedPrecondition(
+        "tenant " + std::to_string(tenant) + " has no running queries");
+  }
+  TenantState& state = it->second;
+  if (--state.running == 0) {
+    state.history.Add(state.active_since, now);
+    MaybePrune(&state, now);
+    if (on_transition_) on_transition_(tenant, false, now);
+  }
+  return Status::OK();
+}
+
+bool TenantActivityTracker::IsActive(TenantId tenant) const {
+  auto it = tenants_.find(tenant);
+  return it != tenants_.end() && it->second.running > 0;
+}
+
+int TenantActivityTracker::RunningQueries(TenantId tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.running;
+}
+
+IntervalSet TenantActivityTracker::ActivityHistory(TenantId tenant,
+                                                   SimTime begin,
+                                                   SimTime end) const {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return IntervalSet();
+  IntervalSet history = it->second.history;
+  if (it->second.running > 0) {
+    history.Add(it->second.active_since, end);
+  }
+  return history.Clip(begin, end);
+}
+
+double TenantActivityTracker::ActiveRatio(TenantId tenant, SimTime begin,
+                                          SimTime end) const {
+  if (end <= begin) return 0;
+  return static_cast<double>(ActivityHistory(tenant, begin, end).TotalLength()) /
+         static_cast<double>(end - begin);
+}
+
+void TenantActivityTracker::MaybePrune(TenantState* state,
+                                       SimTime now) const {
+  if (history_retention_ <= 0) return;
+  // Amortize: prune at most once per retention period.
+  if (now - state->last_prune < history_retention_) return;
+  state->history = state->history.Clip(now - history_retention_, now);
+  state->last_prune = now;
+}
+
+}  // namespace thrifty

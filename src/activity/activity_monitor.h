@@ -1,0 +1,76 @@
+// Runtime tenant-activity tracking (the Tenant Activity Monitor's core).
+//
+// Tracks, per tenant, how many queries are currently executing, derives
+// active/inactive transitions (a tenant is active iff it has at least one
+// query being executed by any MPPDB), and retains the recent activity
+// history as interval sets so the Deployment Advisor can re-derive activity
+// vectors at run-time (over-active-tenant identification, re-consolidation).
+
+#ifndef THRIFTY_ACTIVITY_ACTIVITY_MONITOR_H_
+#define THRIFTY_ACTIVITY_ACTIVITY_MONITOR_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/interval.h"
+#include "common/status.h"
+#include "mppdb/instance.h"
+
+namespace thrifty {
+
+/// \brief Observes query start/finish events and maintains per-tenant
+/// activity state and history.
+class TenantActivityTracker {
+ public:
+  /// Fired when a tenant transitions between inactive and active.
+  using TransitionCallback =
+      std::function<void(TenantId, bool active, SimTime)>;
+
+  /// \param history_retention how much activity history to keep per tenant
+  ///        (pruned lazily); 0 keeps everything.
+  explicit TenantActivityTracker(SimDuration history_retention = 35 * kDay);
+
+  void set_transition_callback(TransitionCallback cb) {
+    on_transition_ = std::move(cb);
+  }
+
+  /// \brief Records that a query of `tenant` started executing at `now`.
+  void OnQueryStart(TenantId tenant, SimTime now);
+
+  /// \brief Records that a query of `tenant` finished at `now`.
+  ///
+  /// Fails if the tenant has no running queries (bookkeeping bug upstream).
+  Status OnQueryFinish(TenantId tenant, SimTime now);
+
+  /// \brief True iff the tenant currently has a query executing.
+  bool IsActive(TenantId tenant) const;
+
+  /// \brief Number of queries the tenant has executing right now.
+  int RunningQueries(TenantId tenant) const;
+
+  /// \brief The tenant's active intervals clipped to [begin, end). If the
+  /// tenant is active now, the open interval is closed at `end`.
+  IntervalSet ActivityHistory(TenantId tenant, SimTime begin,
+                              SimTime end) const;
+
+  /// \brief Fraction of [begin, end) the tenant was active.
+  double ActiveRatio(TenantId tenant, SimTime begin, SimTime end) const;
+
+ private:
+  struct TenantState {
+    int running = 0;
+    SimTime active_since = 0;  // valid when running > 0
+    IntervalSet history;
+    SimTime last_prune = 0;
+  };
+
+  void MaybePrune(TenantState* state, SimTime now) const;
+
+  SimDuration history_retention_;
+  mutable std::unordered_map<TenantId, TenantState> tenants_;
+  TransitionCallback on_transition_;
+};
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_ACTIVITY_ACTIVITY_MONITOR_H_

@@ -1,0 +1,70 @@
+#include "activity/activity_vector.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace thrifty {
+
+ActivityVector ActivityVector::FromBitmap(TenantId tenant_id,
+                                          const DynamicBitmap& bits) {
+  ActivityVector v;
+  v.tenant_id_ = tenant_id;
+  v.num_epochs_ = bits.num_bits();
+  for (size_t w = 0; w < bits.num_words(); ++w) {
+    uint64_t word = bits.word(w);
+    if (word != 0) {
+      v.word_indices_.push_back(static_cast<uint32_t>(w));
+      v.word_bits_.push_back(word);
+      v.active_epochs_ += static_cast<size_t>(std::popcount(word));
+    }
+  }
+  return v;
+}
+
+bool ActivityVector::Get(size_t k) const {
+  uint32_t w = static_cast<uint32_t>(k >> 6);
+  auto it = std::lower_bound(word_indices_.begin(), word_indices_.end(), w);
+  if (it == word_indices_.end() || *it != w) return false;
+  uint64_t word = word_bits_[static_cast<size_t>(it - word_indices_.begin())];
+  return (word >> (k & 63)) & 1;
+}
+
+DynamicBitmap ActivityVector::ToBitmap() const {
+  DynamicBitmap bits(num_epochs_);
+  for (size_t i = 0; i < word_indices_.size(); ++i) {
+    bits.mutable_word(word_indices_[i]) = word_bits_[i];
+  }
+  return bits;
+}
+
+DynamicBitmap IntervalsToBitmap(const IntervalSet& intervals,
+                                const EpochConfig& epochs) {
+  DynamicBitmap bits(epochs.NumEpochs());
+  for (const auto& iv : intervals.intervals()) {
+    SimTime begin = std::max(iv.begin, epochs.begin);
+    SimTime end = std::min(iv.end, epochs.end);
+    if (begin >= end) continue;
+    size_t first = epochs.EpochOf(begin);
+    // end is exclusive; an interval touching an epoch boundary does not
+    // occupy the next epoch.
+    size_t last = epochs.EpochOf(end - 1);
+    bits.SetRange(first, last + 1);
+  }
+  return bits;
+}
+
+ActivityVector MakeActivityVector(const TenantLog& log,
+                                  const EpochConfig& epochs) {
+  return ActivityVector::FromBitmap(
+      log.tenant_id, IntervalsToBitmap(log.ActivityIntervals(), epochs));
+}
+
+std::vector<ActivityVector> MakeActivityVectors(
+    const std::vector<TenantLog>& logs, const EpochConfig& epochs) {
+  std::vector<ActivityVector> out;
+  out.reserve(logs.size());
+  for (const auto& log : logs) out.push_back(MakeActivityVector(log, epochs));
+  return out;
+}
+
+}  // namespace thrifty

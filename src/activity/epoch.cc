@@ -1,0 +1,22 @@
+#include "activity/epoch.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace thrifty {
+
+size_t EpochConfig::NumEpochs() const {
+  assert(Valid());
+  return static_cast<size_t>((end - begin + epoch_size - 1) / epoch_size);
+}
+
+size_t EpochConfig::EpochOf(SimTime t) const {
+  assert(t >= begin && t < end);
+  return static_cast<size_t>((t - begin) / epoch_size);
+}
+
+SimTime EpochConfig::EpochEnd(size_t k) const {
+  return std::min(end, begin + static_cast<SimTime>(k + 1) * epoch_size);
+}
+
+}  // namespace thrifty

@@ -1,0 +1,39 @@
+// Epoch discretization of simulated time (§5: tenant activities are divided
+// into sequences of d fixed-width time epochs).
+
+#ifndef THRIFTY_ACTIVITY_EPOCH_H_
+#define THRIFTY_ACTIVITY_EPOCH_H_
+
+#include <cstddef>
+
+#include "common/sim_time.h"
+
+namespace thrifty {
+
+/// \brief Fixed-width epoch grid over [begin, end).
+struct EpochConfig {
+  /// Epoch width (the paper's E; empirically 10-30 s is best, §5).
+  SimDuration epoch_size = 10 * kSecond;
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  /// \brief Number of epochs d covering [begin, end).
+  size_t NumEpochs() const;
+
+  /// \brief Epoch index containing time t (t must lie in [begin, end)).
+  size_t EpochOf(SimTime t) const;
+
+  /// \brief Start time of epoch k.
+  SimTime EpochBegin(size_t k) const {
+    return begin + static_cast<SimTime>(k) * epoch_size;
+  }
+
+  /// \brief End time of epoch k (exclusive), clamped to `end`.
+  SimTime EpochEnd(size_t k) const;
+
+  bool Valid() const { return epoch_size > 0 && end > begin; }
+};
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_ACTIVITY_EPOCH_H_

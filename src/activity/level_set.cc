@@ -1,0 +1,175 @@
+#include "activity/level_set.h"
+
+#include <bit>
+#include <cassert>
+
+namespace thrifty {
+
+GroupLevelSet::GroupLevelSet(size_t num_epochs) : num_epochs_(num_epochs) {}
+
+void GroupLevelSet::Add(const ActivityVector& v) {
+  assert(v.num_epochs() == num_epochs_);
+  ++num_tenants_;
+  const auto& widx = v.word_indices();
+  const auto& wbits = v.word_bits();
+  size_t num_levels = levels_.size();
+
+  if (num_levels == 0) {
+    // A tenant with no activity contributes no level.
+    if (v.ActiveEpochs() > 0) {
+      levels_.push_back(v.ToBitmap());
+      pops_.push_back(v.ActiveEpochs());
+    }
+    return;
+  }
+
+  // Possibly-new top level: epochs whose count was already num_levels and
+  // where the candidate is active too. Computed first, from the old top.
+  DynamicBitmap new_top(num_epochs_);
+  size_t new_top_pop = 0;
+  for (size_t i = 0; i < widx.size(); ++i) {
+    uint64_t word = levels_[num_levels - 1].word(widx[i]) & wbits[i];
+    if (word != 0) {
+      new_top.mutable_word(widx[i]) = word;
+      new_top_pop += static_cast<size_t>(std::popcount(word));
+    }
+  }
+
+  // Update L_m descending so each step reads the *old* L_{m-1}.
+  for (size_t m = num_levels; m >= 2; --m) {
+    DynamicBitmap& lm = levels_[m - 1];
+    const DynamicBitmap& lm1 = levels_[m - 2];
+    size_t delta = 0;
+    for (size_t i = 0; i < widx.size(); ++i) {
+      uint64_t old_word = lm.word(widx[i]);
+      uint64_t new_word = old_word | (lm1.word(widx[i]) & wbits[i]);
+      if (new_word != old_word) {
+        delta += static_cast<size_t>(std::popcount(new_word)) -
+                 static_cast<size_t>(std::popcount(old_word));
+        lm.mutable_word(widx[i]) = new_word;
+      }
+    }
+    pops_[m - 1] += delta;
+  }
+  // L_1 |= C (L_0 is conceptually all-ones).
+  {
+    DynamicBitmap& l1 = levels_[0];
+    size_t delta = 0;
+    for (size_t i = 0; i < widx.size(); ++i) {
+      uint64_t old_word = l1.word(widx[i]);
+      uint64_t new_word = old_word | wbits[i];
+      if (new_word != old_word) {
+        delta += static_cast<size_t>(std::popcount(new_word)) -
+                 static_cast<size_t>(std::popcount(old_word));
+        l1.mutable_word(widx[i]) = new_word;
+      }
+    }
+    pops_[0] += delta;
+  }
+  if (new_top_pop > 0) {
+    levels_.push_back(std::move(new_top));
+    pops_.push_back(new_top_pop);
+  }
+}
+
+Status GroupLevelSet::Remove(const ActivityVector& v) {
+  assert(v.num_epochs() == num_epochs_);
+  if (num_tenants_ == 0) {
+    return Status::FailedPrecondition("group is empty");
+  }
+  --num_tenants_;
+  const auto& widx = v.word_indices();
+  const auto& wbits = v.word_bits();
+  size_t num_levels = levels_.size();
+  // Ascending so each step reads the *old* L_{m+1}: an epoch leaves level m
+  // iff its old count was exactly m (in L_m but not L_{m+1}) and the tenant
+  // was active there.
+  for (size_t m = 1; m <= num_levels; ++m) {
+    DynamicBitmap& lm = levels_[m - 1];
+    size_t delta = 0;
+    for (size_t i = 0; i < widx.size(); ++i) {
+      uint64_t above = m < num_levels ? levels_[m].word(widx[i]) : 0;
+      uint64_t old_word = lm.word(widx[i]);
+      uint64_t new_word = old_word & (~wbits[i] | above);
+      if (new_word != old_word) {
+        delta += static_cast<size_t>(std::popcount(old_word)) -
+                 static_cast<size_t>(std::popcount(new_word));
+        lm.mutable_word(widx[i]) = new_word;
+      }
+    }
+    pops_[m - 1] -= delta;
+  }
+  while (!levels_.empty() && pops_.back() == 0) {
+    levels_.pop_back();
+    pops_.pop_back();
+  }
+  return Status::OK();
+}
+
+size_t GroupLevelSet::CountAtLeast(int m) const {
+  assert(m >= 1);
+  if (static_cast<size_t>(m) > levels_.size()) return 0;
+  return pops_[static_cast<size_t>(m) - 1];
+}
+
+size_t GroupLevelSet::CountAtMost(int m) const {
+  assert(m >= 0);
+  if (static_cast<size_t>(m) >= levels_.size()) return num_epochs_;
+  return num_epochs_ - pops_[static_cast<size_t>(m)];
+}
+
+double GroupLevelSet::Ttp(int r) const {
+  if (num_epochs_ == 0) return 1.0;
+  return static_cast<double>(CountAtMost(r)) /
+         static_cast<double>(num_epochs_);
+}
+
+std::vector<double> GroupLevelSet::ExactLevelFractions() const {
+  std::vector<double> fractions(levels_.size());
+  for (size_t m = 1; m <= levels_.size(); ++m) {
+    size_t at_least_m = pops_[m - 1];
+    size_t at_least_m1 = m < levels_.size() ? pops_[m] : 0;
+    fractions[m - 1] = static_cast<double>(at_least_m - at_least_m1) /
+                       static_cast<double>(num_epochs_);
+  }
+  return fractions;
+}
+
+std::vector<size_t> GroupLevelSet::EvaluateAdd(const ActivityVector& v) const {
+  assert(v.num_epochs() == num_epochs_);
+  const auto& widx = v.word_indices();
+  const auto& wbits = v.word_bits();
+  size_t num_levels = levels_.size();
+  std::vector<size_t> new_pops(num_levels + 1);
+  for (size_t m = 1; m <= num_levels + 1; ++m) {
+    size_t base = m <= num_levels ? pops_[m - 1] : 0;
+    size_t delta = 0;
+    for (size_t i = 0; i < widx.size(); ++i) {
+      uint64_t old_word = m <= num_levels ? levels_[m - 1].word(widx[i]) : 0;
+      // L_0 is all-ones, so at m == 1 the joining term is C itself.
+      uint64_t below = m >= 2 ? levels_[m - 2].word(widx[i]) : ~uint64_t{0};
+      uint64_t new_word = old_word | (below & wbits[i]);
+      if (new_word != old_word) {
+        delta += static_cast<size_t>(std::popcount(new_word)) -
+                 static_cast<size_t>(std::popcount(old_word));
+      }
+    }
+    new_pops[m - 1] = base + delta;
+  }
+  // Drop an empty would-be top level so MaxActive stays meaningful.
+  if (new_pops.back() == 0) new_pops.pop_back();
+  return new_pops;
+}
+
+double GroupLevelSet::TtpFromPopcounts(
+    const std::vector<size_t>& at_least_pops, int r) const {
+  assert(r >= 0);
+  if (num_epochs_ == 0) return 1.0;
+  size_t above = static_cast<size_t>(r) < at_least_pops.size()
+                     ? at_least_pops[static_cast<size_t>(r)]
+                     : 0;
+  return static_cast<double>(num_epochs_ - above) /
+         static_cast<double>(num_epochs_);
+}
+
+}  // namespace thrifty

@@ -1,0 +1,87 @@
+// Group-level activity algebra: the data structure behind tenant grouping.
+//
+// A tenant-group's packing state is the per-epoch count of active tenants
+// (the sum-of-activity-vectors of §5). GroupLevelSet represents that count
+// vector as *level bitmaps*: L_m has bit k set iff at least m tenants are
+// active in epoch k. This makes the two operations the two-step heuristic
+// needs extremely cheap:
+//
+//  * TTP(R) — the total time percentage with <= R active tenants — is
+//    1 - popcount(L_{R+1}) / d.
+//
+//  * Evaluating "what happens if tenant C joins?" is pure word-parallel
+//    boolean algebra: the new L'_m = L_m | (L_{m-1} & C), and only C's
+//    nonzero words can change, so one candidate costs
+//    O(levels x |C's nonzero words|) word operations instead of a pass over
+//    all epochs. This is what keeps the O(g^2)-search heuristic fast at
+//    thousands of tenants.
+
+#ifndef THRIFTY_ACTIVITY_LEVEL_SET_H_
+#define THRIFTY_ACTIVITY_LEVEL_SET_H_
+
+#include <vector>
+
+#include "activity/activity_vector.h"
+#include "common/bitmap.h"
+#include "common/status.h"
+
+namespace thrifty {
+
+/// \brief Per-epoch active-tenant counts of one tenant-group, as level
+/// bitmaps.
+class GroupLevelSet {
+ public:
+  explicit GroupLevelSet(size_t num_epochs);
+
+  size_t num_epochs() const { return num_epochs_; }
+  int num_tenants() const { return num_tenants_; }
+
+  /// \brief Adds a tenant's activity to the group.
+  void Add(const ActivityVector& v);
+
+  /// \brief Removes a tenant's activity. The caller must only remove
+  /// vectors previously added (the structure stores counts, not members).
+  Status Remove(const ActivityVector& v);
+
+  /// \brief Number of epochs with >= m active tenants (m >= 1).
+  size_t CountAtLeast(int m) const;
+
+  /// \brief Number of epochs with <= m active tenants (m >= 0) — the
+  /// COUNT^{<=R} of §5.
+  size_t CountAtMost(int m) const;
+
+  /// \brief Total time percentage (as a fraction in [0,1]) with <= r active
+  /// tenants: the TTP of §5.
+  double Ttp(int r) const;
+
+  /// \brief Highest number of concurrently active tenants over all epochs.
+  int MaxActive() const { return static_cast<int>(levels_.size()); }
+
+  /// \brief Fraction of epochs with exactly m active tenants, for
+  /// m = 1..MaxActive() (index 0 holds m=1).
+  std::vector<double> ExactLevelFractions() const;
+
+  /// \brief Evaluates adding `v` without mutating the group.
+  ///
+  /// Returns the would-be popcounts of levels 1..MaxActive()+1 (the last
+  /// entry is the possibly-new top level). Entry m-1 is the number of epochs
+  /// that would have >= m active tenants.
+  std::vector<size_t> EvaluateAdd(const ActivityVector& v) const;
+
+  /// \brief TTP(r) computed from EvaluateAdd popcounts.
+  double TtpFromPopcounts(const std::vector<size_t>& at_least_pops,
+                          int r) const;
+
+  /// \brief Level popcounts (epochs with >= m active), m = 1..MaxActive().
+  const std::vector<size_t>& level_popcounts() const { return pops_; }
+
+ private:
+  size_t num_epochs_;
+  int num_tenants_ = 0;
+  std::vector<DynamicBitmap> levels_;  // levels_[m-1] = L_m
+  std::vector<size_t> pops_;           // cached popcount per level
+};
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_ACTIVITY_LEVEL_SET_H_

@@ -1,0 +1,59 @@
+#include "common/bitmap.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace thrifty {
+
+void DynamicBitmap::SetRange(size_t begin, size_t end) {
+  end = std::min(end, num_bits_);
+  if (begin >= end) return;
+  size_t first_word = begin >> 6;
+  size_t last_word = (end - 1) >> 6;
+  uint64_t first_mask = ~uint64_t{0} << (begin & 63);
+  uint64_t last_mask = ~uint64_t{0} >> (63 - ((end - 1) & 63));
+  if (first_word == last_word) {
+    words_[first_word] |= first_mask & last_mask;
+    return;
+  }
+  words_[first_word] |= first_mask;
+  for (size_t w = first_word + 1; w < last_word; ++w) words_[w] = ~uint64_t{0};
+  words_[last_word] |= last_mask;
+}
+
+size_t DynamicBitmap::Popcount() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+size_t DynamicBitmap::AndPopcount(const DynamicBitmap& other) const {
+  assert(num_bits_ == other.num_bits_);
+  size_t total = 0;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    total += std::popcount(words_[w] & other.words_[w]);
+  }
+  return total;
+}
+
+void DynamicBitmap::OrWith(const DynamicBitmap& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+}
+
+bool DynamicBitmap::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+std::vector<uint32_t> DynamicBitmap::NonzeroWordIndices() const {
+  std::vector<uint32_t> out;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) out.push_back(static_cast<uint32_t>(w));
+  }
+  return out;
+}
+
+}  // namespace thrifty

@@ -1,0 +1,60 @@
+#include "common/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace thrifty {
+
+ZipfDistribution::ZipfDistribution(size_t n, double theta) : theta_(theta) {
+  assert(n >= 1);
+  assert(theta >= 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(size_t k) const {
+  assert(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> weights) {
+  assert(!weights.empty());
+  cdf_.resize(weights.size());
+  double total = 0;
+  for (size_t k = 0; k < weights.size(); ++k) {
+    assert(weights[k] >= 0);
+    total += weights[k];
+    cdf_[k] = total;
+  }
+  assert(total > 0);
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+size_t DiscreteDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double DiscreteDistribution::Pmf(size_t k) const {
+  assert(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace thrifty

@@ -1,0 +1,62 @@
+// Samplers for the non-uniform distributions used in workload generation.
+
+#ifndef THRIFTY_COMMON_DISTRIBUTIONS_H_
+#define THRIFTY_COMMON_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace thrifty {
+
+/// \brief Zipf sampler over ranks {0, 1, ..., n-1}.
+///
+/// Rank k is drawn with probability proportional to 1 / (k+1)^theta. The
+/// paper samples tenant sizes "from the CDF of a Zipf distribution with a
+/// parameter 0 < theta < 1, where a smaller theta tends to uniform whereas a
+/// larger theta tends to skew" (§7.1); this class implements exactly that
+/// inverse-CDF sampling.
+class ZipfDistribution {
+ public:
+  /// \brief Builds the CDF for `n` ranks with exponent `theta`.
+  ///
+  /// Requires n >= 1 and theta >= 0 (theta == 0 degenerates to uniform).
+  ZipfDistribution(size_t n, double theta);
+
+  /// \brief Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// \brief Probability mass of rank k.
+  double Pmf(size_t k) const;
+
+  size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); cdf_.back() == 1.
+};
+
+/// \brief Draws an index from an explicit discrete weight vector.
+///
+/// Weights need not be normalized; they must be non-negative with a positive
+/// sum.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(std::vector<double> weights);
+
+  size_t Sample(Rng* rng) const;
+
+  /// \brief Normalized probability of index k.
+  double Pmf(size_t k) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_COMMON_DISTRIBUTIONS_H_

@@ -1,0 +1,101 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace thrifty {
+
+Histogram::Histogram(double min_value, double growth)
+    : min_value_(min_value), growth_(growth), log_growth_(std::log(growth)) {
+  assert(min_value > 0);
+  assert(growth > 1);
+}
+
+size_t Histogram::BucketFor(double value) const {
+  if (value <= min_value_) return 0;
+  return static_cast<size_t>(
+             std::ceil(std::log(value / min_value_) / log_growth_ - 1e-12));
+}
+
+double Histogram::BucketUpperBound(size_t bucket) const {
+  return min_value_ * std::pow(growth_, static_cast<double>(bucket));
+}
+
+void Histogram::Add(double value) {
+  assert(value >= 0);
+  size_t b = BucketFor(value);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  ++buckets_[b];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::min() const { return count_ == 0 ? 0 : min_; }
+double Histogram::max() const { return count_ == 0 ? 0 : max_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  size_t target = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  size_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= target) {
+      return std::min(BucketUpperBound(b), max_);
+    }
+  }
+  return max_;
+}
+
+double Histogram::FractionAtMost(double threshold) const {
+  if (count_ == 0) return 1.0;
+  size_t limit = BucketFor(threshold);
+  size_t seen = 0;
+  for (size_t b = 0; b <= limit && b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+  }
+  return static_cast<double>(seen) / static_cast<double>(count_);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(min_value_ == other.min_value_ && growth_ == other.growth_);
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t b = 0; b < other.buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+}  // namespace thrifty

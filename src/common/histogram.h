@@ -1,0 +1,56 @@
+// Latency histogram with percentile queries, used for SLA accounting.
+
+#ifndef THRIFTY_COMMON_HISTOGRAM_H_
+#define THRIFTY_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace thrifty {
+
+/// \brief Exponentially-bucketed histogram of non-negative values.
+///
+/// Buckets grow geometrically from `min_value` by `growth` per bucket, so
+/// percentile estimates carry a bounded relative error (growth - 1). Values
+/// below min_value land in bucket 0; values above the last bucket extend the
+/// bucket vector on demand.
+class Histogram {
+ public:
+  /// \param min_value upper bound of the first bucket (> 0).
+  /// \param growth geometric bucket growth factor (> 1).
+  explicit Histogram(double min_value = 1.0, double growth = 1.05);
+
+  void Add(double value);
+
+  size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+
+  /// \brief Value at quantile q in [0, 1] (estimate via bucket upper bounds).
+  double Percentile(double q) const;
+
+  /// \brief Fraction of recorded values <= threshold (bucket-granular).
+  double FractionAtMost(double threshold) const;
+
+  void Merge(const Histogram& other);
+  void Reset();
+
+ private:
+  size_t BucketFor(double value) const;
+  double BucketUpperBound(size_t bucket) const;
+
+  double min_value_;
+  double growth_;
+  double log_growth_;
+  std::vector<size_t> buckets_;
+  size_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_COMMON_HISTOGRAM_H_

@@ -1,0 +1,86 @@
+// Result<T>: a value-or-Status, the Arrow-style companion to Status.
+
+#ifndef THRIFTY_COMMON_RESULT_H_
+#define THRIFTY_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace thrifty {
+
+/// \brief Holds either a successfully computed T or the Status explaining
+/// why the computation failed.
+///
+/// A Result constructed from an OK Status is a programming error (asserted in
+/// debug builds, converted to an Internal error otherwise).
+template <typename T>
+class Result {
+ public:
+  /// \brief Constructs a successful Result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT implicit
+
+  /// \brief Constructs a failed Result from a non-OK Status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT implicit
+    assert(!std::get<Status>(repr_).ok());
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The failure Status, or OK if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// \brief The held value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// \brief Returns the value, or `fallback` if this Result failed.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace thrifty
+
+/// \brief Assigns the value of a Result expression to `lhs`, or propagates
+/// its error Status.
+#define THRIFTY_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define THRIFTY_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define THRIFTY_ASSIGN_OR_RETURN_NAME(x, y) \
+  THRIFTY_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define THRIFTY_ASSIGN_OR_RETURN(lhs, expr)                                   \
+  THRIFTY_ASSIGN_OR_RETURN_IMPL(                                              \
+      THRIFTY_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+#endif  // THRIFTY_COMMON_RESULT_H_

@@ -1,0 +1,61 @@
+// Simulated-time primitives.
+//
+// All simulation timestamps and durations are integral milliseconds. Using a
+// fixed-point representation keeps event ordering exact and runs reproducible
+// across platforms (no floating-point accumulation drift in the event loop).
+
+#ifndef THRIFTY_COMMON_SIM_TIME_H_
+#define THRIFTY_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace thrifty {
+
+/// \brief A point in simulated time, in milliseconds since simulation start.
+using SimTime = int64_t;
+
+/// \brief A span of simulated time, in milliseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kMillisecond = 1;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+inline constexpr SimDuration kDay = 24 * kHour;
+inline constexpr SimDuration kWeek = 7 * kDay;
+
+/// \brief Sentinel for "no time" / "never".
+inline constexpr SimTime kNeverTime = INT64_MAX;
+
+/// \brief Converts a duration in (possibly fractional) seconds to SimDuration,
+/// rounding to the nearest millisecond.
+inline constexpr SimDuration SecondsToDuration(double seconds) {
+  return static_cast<SimDuration>(seconds * kSecond + 0.5);
+}
+
+/// \brief Converts a SimDuration to fractional seconds.
+inline constexpr double DurationToSeconds(SimDuration d) {
+  return static_cast<double>(d) / kSecond;
+}
+
+/// \brief Renders a time as "Dd HH:MM:SS.mmm" for logs and traces.
+inline std::string FormatSimTime(SimTime t) {
+  const char* sign = t < 0 ? "-" : "";
+  if (t < 0) t = -t;
+  int64_t ms = t % 1000;
+  int64_t s = (t / kSecond) % 60;
+  int64_t m = (t / kMinute) % 60;
+  int64_t h = (t / kHour) % 24;
+  int64_t d = t / kDay;
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%s%lldd %02lld:%02lld:%02lld.%03lld", sign,
+           static_cast<long long>(d), static_cast<long long>(h),
+           static_cast<long long>(m), static_cast<long long>(s),
+           static_cast<long long>(ms));
+  return buf;
+}
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_COMMON_SIM_TIME_H_

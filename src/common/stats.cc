@@ -1,0 +1,55 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thrifty {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Mean() const { return count_ == 0 ? 0 : mean_; }
+
+double RunningStats::Variance() const {
+  return count_ < 2 ? 0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0 : min_; }
+double RunningStats::max() const { return count_ == 0 ? 0 : max_; }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  size_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double new_mean =
+      mean_ + delta * static_cast<double>(other.count_) / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(n);
+  mean_ = new_mean;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+}  // namespace thrifty

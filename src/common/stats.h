@@ -1,0 +1,38 @@
+// Scalar summary statistics (mean / variance / extremes), Welford-style.
+
+#ifndef THRIFTY_COMMON_STATS_H_
+#define THRIFTY_COMMON_STATS_H_
+
+#include <cstddef>
+
+namespace thrifty {
+
+/// \brief Streaming accumulator for mean, variance, min, and max.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double Mean() const;
+  /// \brief Sample variance (n-1 denominator); 0 with fewer than 2 samples.
+  double Variance() const;
+  double StdDev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  void Merge(const RunningStats& other);
+  void Reset();
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_COMMON_STATS_H_

@@ -1,0 +1,39 @@
+// Fixed-width table rendering for the benchmark harnesses, which print the
+// same rows/series the paper's tables and figures report.
+
+#ifndef THRIFTY_COMMON_TABLE_PRINTER_H_
+#define THRIFTY_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace thrifty {
+
+/// \brief Accumulates string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// \brief Appends one row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Renders the table (header, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Formats a double with `decimals` fraction digits.
+std::string FormatDouble(double v, int decimals = 2);
+
+/// \brief Formats a ratio as a percentage string, e.g. 0.813 -> "81.3%".
+std::string FormatPercent(double ratio, int decimals = 1);
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_COMMON_TABLE_PRINTER_H_

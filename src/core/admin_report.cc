@@ -1,0 +1,103 @@
+#include "core/admin_report.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "common/table_printer.h"
+
+namespace thrifty {
+
+Result<ServiceStatusReport> BuildStatusReport(ThriftyService* service) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("null service");
+  }
+  ServiceStatusReport report;
+  report.generated_at = service->engine()->now();
+  report.nodes_total = service->cluster()->total_nodes();
+  report.nodes_in_use = service->cluster()->nodes_in_use();
+  report.metrics = service->metrics();
+  std::unordered_set<GroupId> scaled_groups;
+  if (service->scaler() != nullptr) {
+    report.scaling_events = service->scaler()->events();
+    scaled_groups = service->scaler()->reconsolidation_list();
+  }
+
+  for (const GroupDeployment& group : service->plan().groups) {
+    GroupStatus status;
+    status.group_id = group.group_id;
+    status.num_tenants = group.tenants.size();
+    status.num_mppdbs = group.cluster.NumMppdbs();
+    status.tuning_nodes = group.cluster.tuning_nodes();
+    status.replica_nodes = group.cluster.mppdb_nodes.size() > 1
+                               ? group.cluster.mppdb_nodes[1]
+                               : group.cluster.tuning_nodes();
+    status.scaled = scaled_groups.count(group.group_id) > 0;
+
+    THRIFTY_ASSIGN_OR_RETURN(
+        RtTtpMonitor * monitor,
+        service->activity_monitor()->GroupMonitor(group.group_id));
+    status.rt_ttp = monitor->RtTtp(report.generated_at);
+    THRIFTY_ASSIGN_OR_RETURN(status.active_tenants,
+                             service->activity_monitor()->ActiveTenantsInGroup(
+                                 group.group_id));
+
+    int n1 = group.LargestTenantNodes();
+    int64_t u_max = group.RequestedNodes() -
+                    static_cast<int64_t>(status.num_mppdbs - 1) * n1;
+    u_max = std::max<int64_t>(u_max, n1);
+    auto advice = AdviseTuning(
+        status.rt_ttp, /*rt_ttp_trending_down=*/false,
+        service->options().sla_fraction, n1, status.tuning_nodes,
+        static_cast<int>(u_max),
+        /*observed_overflow_concurrency=*/std::max(
+            1, status.active_tenants - status.num_mppdbs + 1));
+    if (advice.ok()) {
+      status.tuning_action = advice->action;
+      status.recommended_tuning_nodes = advice->recommended_tuning_nodes;
+    }
+    report.groups.push_back(status);
+  }
+  return report;
+}
+
+void PrintStatusReport(const ServiceStatusReport& report, std::ostream& os) {
+  os << "Thrifty status at " << FormatSimTime(report.generated_at) << "\n"
+     << "  nodes: " << report.nodes_in_use << " in use / "
+     << report.nodes_total << " total; queries completed: "
+     << report.metrics.completed << "; SLA attainment: "
+     << FormatPercent(report.metrics.SlaAttainment(), 2) << "\n";
+  TablePrinter table({"group", "tenants", "MPPDBs", "U/replica nodes",
+                      "RT-TTP", "active now", "advice", "scaled?"});
+  for (const auto& group : report.groups) {
+    std::string advice = TuningActionToString(group.tuning_action);
+    if (group.tuning_action == TuningAction::kRaiseTuningNodes) {
+      advice += " -> U=" + std::to_string(group.recommended_tuning_nodes);
+    }
+    table.AddRow({std::to_string(group.group_id),
+                  std::to_string(group.num_tenants),
+                  std::to_string(group.num_mppdbs),
+                  std::to_string(group.tuning_nodes) + "/" +
+                      std::to_string(group.replica_nodes),
+                  FormatPercent(group.rt_ttp, 2),
+                  std::to_string(group.active_tenants), advice,
+                  group.scaled ? "yes" : "no"});
+  }
+  table.Print(os);
+  if (!report.scaling_events.empty()) {
+    os << "Elastic scaling history:\n";
+    for (const auto& event : report.scaling_events) {
+      os << "  group " << event.group_id << ": "
+         << (event.proactive ? "proactive" : "reactive") << " at "
+         << FormatSimTime(event.detected_time) << ", "
+         << event.tenants.size() << " tenant(s) -> new "
+         << event.new_mppdb_nodes << "-node MPPDB"
+         << (event.ready_time > 0
+                 ? " (online at " + FormatSimTime(event.ready_time) + ")"
+                 : " (still loading)")
+         << "\n";
+    }
+  }
+}
+
+}  // namespace thrifty

@@ -1,0 +1,39 @@
+#include "core/deployment_master.h"
+
+#include <cassert>
+
+namespace thrifty {
+
+DeploymentMaster::DeploymentMaster(Cluster* cluster, QueryRouter* router)
+    : cluster_(cluster), router_(router) {
+  assert(cluster != nullptr && router != nullptr);
+}
+
+Result<std::vector<DeployedGroup>> DeploymentMaster::Deploy(
+    const DeploymentPlan& plan) {
+  std::vector<DeployedGroup> deployed;
+  deployed.reserve(plan.groups.size());
+  for (const auto& group : plan.groups) {
+    DeployedGroup dg;
+    dg.group_id = group.group_id;
+    for (int nodes : group.cluster.mppdb_nodes) {
+      THRIFTY_ASSIGN_OR_RETURN(MppdbInstance * instance,
+                               cluster_->CreateInstanceOnline(nodes));
+      // Tenant placement: every member's data goes on every MPPDB of the
+      // group (replication factor A).
+      for (const auto& tenant : group.tenants) {
+        instance->AddTenant(tenant.id, tenant.data_gb);
+      }
+      dg.instances.push_back(instance);
+    }
+    std::vector<TenantId> tenant_ids;
+    tenant_ids.reserve(group.tenants.size());
+    for (const auto& tenant : group.tenants) tenant_ids.push_back(tenant.id);
+    THRIFTY_RETURN_NOT_OK(
+        router_->AddGroup(group.group_id, dg.instances, tenant_ids));
+    deployed.push_back(std::move(dg));
+  }
+  return deployed;
+}
+
+}  // namespace thrifty

@@ -1,0 +1,75 @@
+#include "core/reconsolidation.h"
+
+#include <algorithm>
+#include <string>
+
+namespace thrifty {
+
+ReconsolidationPlanner::ReconsolidationPlanner(AdvisorOptions options)
+    : options_(options) {}
+
+Result<ReconsolidationOutput> ReconsolidationPlanner::Plan(
+    const ReconsolidationInput& input, const std::vector<TenantLog>& history,
+    SimTime history_begin, SimTime history_end) const {
+  ReconsolidationOutput output;
+  output.plan.replication_factor = options_.replication_factor;
+  output.plan.sla_fraction = options_.sla_fraction;
+
+  // Partition current groups into untouched and affected.
+  std::vector<TenantSpec> affected = input.new_tenants;
+  for (const auto& group : input.current_plan.groups) {
+    bool scaled = input.scaled_groups.count(group.group_id) > 0;
+    bool lost_member = std::any_of(
+        group.tenants.begin(), group.tenants.end(),
+        [&](const TenantSpec& t) { return input.deregistered.count(t.id); });
+    if (!scaled && !lost_member) {
+      GroupDeployment copy = group;
+      copy.group_id = static_cast<GroupId>(output.plan.groups.size());
+      output.untouched_groups.push_back(group.group_id);
+      output.plan.groups.push_back(std::move(copy));
+      continue;
+    }
+    for (const auto& tenant : group.tenants) {
+      if (!input.deregistered.count(tenant.id)) {
+        affected.push_back(tenant);
+      }
+    }
+  }
+  for (const auto& tenant : input.new_tenants) {
+    if (input.deregistered.count(tenant.id)) {
+      return Status::InvalidArgument(
+          "tenant " + std::to_string(tenant.id) +
+          " is both newly registered and de-registered");
+    }
+  }
+
+  output.regrouped_tenants = affected;
+  if (affected.empty()) {
+    return output;
+  }
+
+  // Regroup the affected tenants from their recent history.
+  DeploymentAdvisor advisor(options_);
+  THRIFTY_ASSIGN_OR_RETURN(
+      AdvisorOutput advised,
+      advisor.Advise(affected, history, history_begin, history_end));
+  for (auto& group : advised.plan.groups) {
+    group.group_id = static_cast<GroupId>(output.plan.groups.size());
+    output.plan.groups.push_back(std::move(group));
+  }
+  // Always-active tenants the advisor excluded are regrouped as singleton
+  // dedicated groups so no tenant is dropped from the plan.
+  for (const auto& excluded : advised.excluded_tenants) {
+    GroupDeployment dedicated;
+    dedicated.group_id = static_cast<GroupId>(output.plan.groups.size());
+    dedicated.tenants.push_back(excluded);
+    THRIFTY_ASSIGN_OR_RETURN(
+        dedicated.cluster,
+        DesignGroupCluster(excluded.requested_nodes, excluded.requested_nodes,
+                           options_.replication_factor));
+    output.plan.groups.push_back(std::move(dedicated));
+  }
+  return output;
+}
+
+}  // namespace thrifty

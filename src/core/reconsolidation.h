@@ -1,0 +1,67 @@
+// The (re)-consolidation cycle (Chapter 3, §5.1).
+//
+// "The deployment is supposed to be static for days. A (re)-consolidation
+// process is expected to be executed periodically, because it is expected
+// that there are new tenants register with and existing tenants de-register
+// with the service." Additionally, any tenant-group that went through
+// elastic scaling lands on the re-consolidation list.
+//
+// The planner keeps unaffected tenant-groups exactly as deployed (their
+// MPPDBs and loaded data are untouched) and re-runs tenant grouping only
+// over the affected tenants: members of scaled groups, members of groups
+// that lost a de-registered tenant, and newly registered tenants.
+
+#ifndef THRIFTY_CORE_RECONSOLIDATION_H_
+#define THRIFTY_CORE_RECONSOLIDATION_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/deployment_advisor.h"
+
+namespace thrifty {
+
+/// \brief Input state for one re-consolidation cycle.
+struct ReconsolidationInput {
+  /// The currently deployed plan.
+  DeploymentPlan current_plan;
+  /// Groups that went through elastic scaling since the last cycle.
+  std::unordered_set<GroupId> scaled_groups;
+  /// Tenants newly registered with the service.
+  std::vector<TenantSpec> new_tenants;
+  /// Tenants that de-registered (their groups are re-consolidated too).
+  std::unordered_set<TenantId> deregistered;
+};
+
+/// \brief Output of one cycle.
+struct ReconsolidationOutput {
+  /// The updated plan: untouched groups keep their ids; regrouped tenants
+  /// get fresh group ids appended after them.
+  DeploymentPlan plan;
+  /// Tenants that were regrouped this cycle (excluding de-registered).
+  std::vector<TenantSpec> regrouped_tenants;
+  /// Group ids carried over untouched.
+  std::vector<GroupId> untouched_groups;
+};
+
+/// \brief Plans re-consolidation cycles.
+class ReconsolidationPlanner {
+ public:
+  explicit ReconsolidationPlanner(AdvisorOptions options = AdvisorOptions());
+
+  /// \brief Computes the next deployment plan.
+  ///
+  /// `history` must contain logs for every affected tenant (new tenants and
+  /// members of affected groups); logs of untouched tenants are not needed.
+  Result<ReconsolidationOutput> Plan(const ReconsolidationInput& input,
+                                     const std::vector<TenantLog>& history,
+                                     SimTime history_begin,
+                                     SimTime history_end) const;
+
+ private:
+  AdvisorOptions options_;
+};
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_CORE_RECONSOLIDATION_H_

@@ -1,0 +1,97 @@
+#include "core/tenant_activity_monitor.h"
+
+#include <string>
+
+namespace thrifty {
+
+TenantActivityMonitor::TenantActivityMonitor(int replication_factor,
+                                             SimDuration window)
+    : replication_factor_(replication_factor), window_(window) {
+  tracker_.set_transition_callback(
+      [this](TenantId tenant, bool active, SimTime now) {
+        OnTransition(tenant, active, now);
+      });
+}
+
+Status TenantActivityMonitor::RegisterGroup(
+    GroupId group_id, const std::vector<TenantId>& tenants) {
+  if (groups_.count(group_id)) {
+    return Status::AlreadyExists("group " + std::to_string(group_id) +
+                                 " already registered");
+  }
+  GroupState state;
+  state.monitor = std::make_unique<RtTtpMonitor>(replication_factor_, window_);
+  for (TenantId t : tenants) {
+    auto [it, inserted] = tenant_group_.emplace(t, group_id);
+    if (!inserted) {
+      return Status::AlreadyExists("tenant " + std::to_string(t) +
+                                   " already in group " +
+                                   std::to_string(it->second));
+    }
+    state.members.insert(t);
+  }
+  groups_.emplace(group_id, std::move(state));
+  return Status::OK();
+}
+
+Status TenantActivityMonitor::ExcludeTenants(
+    GroupId group_id, const std::vector<TenantId>& tenants, SimTime now) {
+  auto it = groups_.find(group_id);
+  if (it == groups_.end()) {
+    return Status::NotFound("group " + std::to_string(group_id));
+  }
+  GroupState& state = it->second;
+  bool changed = false;
+  for (TenantId t : tenants) {
+    if (!state.members.count(t)) {
+      return Status::InvalidArgument("tenant " + std::to_string(t) +
+                                     " is not a member of group " +
+                                     std::to_string(group_id));
+    }
+    if (state.excluded.insert(t).second && tracker_.IsActive(t)) {
+      --state.active_count;
+      changed = true;
+    }
+  }
+  if (changed) {
+    state.monitor->OnActiveCountChange(now, state.active_count);
+  }
+  return Status::OK();
+}
+
+void TenantActivityMonitor::OnQueryStart(TenantId tenant, SimTime now) {
+  tracker_.OnQueryStart(tenant, now);
+}
+
+Status TenantActivityMonitor::OnQueryFinish(TenantId tenant, SimTime now) {
+  return tracker_.OnQueryFinish(tenant, now);
+}
+
+Result<RtTtpMonitor*> TenantActivityMonitor::GroupMonitor(GroupId group_id) {
+  auto it = groups_.find(group_id);
+  if (it == groups_.end()) {
+    return Status::NotFound("group " + std::to_string(group_id));
+  }
+  return it->second.monitor.get();
+}
+
+Result<int> TenantActivityMonitor::ActiveTenantsInGroup(
+    GroupId group_id) const {
+  auto it = groups_.find(group_id);
+  if (it == groups_.end()) {
+    return Status::NotFound("group " + std::to_string(group_id));
+  }
+  return it->second.active_count;
+}
+
+void TenantActivityMonitor::OnTransition(TenantId tenant, bool active,
+                                         SimTime now) {
+  auto git = tenant_group_.find(tenant);
+  if (git == tenant_group_.end()) return;  // unconsolidated tenant
+  GroupState& state = groups_.at(git->second);
+  if (state.excluded.count(tenant)) return;
+  state.active_count += active ? 1 : -1;
+  state.monitor->OnActiveCountChange(now, state.active_count);
+}
+
+}  // namespace thrifty

@@ -1,0 +1,74 @@
+// The Tenant Activity Monitor (Fig 3.1 component (a)).
+//
+// Collects query lifecycle events from the deployed MPPDBs, derives tenant
+// activities (per-tenant active intervals via TenantActivityTracker), and
+// maintains per-tenant-group RT-TTP monitors for the Deployment Advisor and
+// the elastic scaler. Tenants moved to dedicated MPPDBs by elastic scaling
+// are excluded from their group's active-count bookkeeping.
+
+#ifndef THRIFTY_CORE_TENANT_ACTIVITY_MONITOR_H_
+#define THRIFTY_CORE_TENANT_ACTIVITY_MONITOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "activity/activity_monitor.h"
+#include "common/result.h"
+#include "placement/deployment_plan.h"
+#include "scaling/rt_ttp_monitor.h"
+
+namespace thrifty {
+
+/// \brief Service-wide activity monitoring: tracker + per-group RT-TTP.
+class TenantActivityMonitor {
+ public:
+  /// \param replication_factor R (the RT-TTP threshold).
+  /// \param window RT-TTP sliding window.
+  TenantActivityMonitor(int replication_factor,
+                        SimDuration window = 24 * kHour);
+
+  /// \brief Registers a tenant-group and its members.
+  Status RegisterGroup(GroupId group_id, const std::vector<TenantId>& tenants);
+
+  /// \brief Excludes tenants from their group's active-count bookkeeping
+  /// (they moved to a dedicated MPPDB). Adjusts the live count if an
+  /// excluded tenant is active right now.
+  Status ExcludeTenants(GroupId group_id, const std::vector<TenantId>& tenants,
+                        SimTime now);
+
+  /// \brief Query lifecycle hooks (called by the service on routing and on
+  /// completion).
+  void OnQueryStart(TenantId tenant, SimTime now);
+  Status OnQueryFinish(TenantId tenant, SimTime now);
+
+  /// \brief The per-tenant tracker (activity history, active ratios).
+  TenantActivityTracker* tracker() { return &tracker_; }
+
+  /// \brief The RT-TTP monitor of one group.
+  Result<RtTtpMonitor*> GroupMonitor(GroupId group_id);
+
+  /// \brief Current number of non-excluded active tenants in a group.
+  Result<int> ActiveTenantsInGroup(GroupId group_id) const;
+
+ private:
+  struct GroupState {
+    std::unordered_set<TenantId> members;
+    std::unordered_set<TenantId> excluded;
+    int active_count = 0;
+    std::unique_ptr<RtTtpMonitor> monitor;
+  };
+
+  void OnTransition(TenantId tenant, bool active, SimTime now);
+
+  int replication_factor_;
+  SimDuration window_;
+  TenantActivityTracker tracker_;
+  std::unordered_map<GroupId, GroupState> groups_;
+  std::unordered_map<TenantId, GroupId> tenant_group_;
+};
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_CORE_TENANT_ACTIVITY_MONITOR_H_

@@ -1,0 +1,126 @@
+#include "mppdb/catalog.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace thrifty {
+
+const char* QuerySuiteToString(QuerySuite suite) {
+  switch (suite) {
+    case QuerySuite::kTpch:
+      return "TPCH";
+    case QuerySuite::kTpcds:
+      return "TPCDS";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+struct TpchProfile {
+  const char* name;
+  double work_seconds_per_gb;
+  double serial_fraction;
+};
+
+// Absolute-latency calibration knob. The paper publishes no absolute query
+// latencies, so the catalog's scale is calibrated against the consolidation
+// behaviour its evaluation reports: with this scale, generated workloads
+// yield tenant-group sizes (~14 tenants at R=3, P=99.9%) and consolidation
+// effectiveness (~80%) matching §7.3-§7.4, and typical query latencies land
+// in the seconds range a commercial column-store MPPDB achieves on TPC-H
+// SF100 partitions.
+constexpr double kWorkScale = 0.15;
+
+// Relative costs loosely follow the published TPC-H query cost ordering
+// (Q1/Q9/Q18/Q21 heavy; Q2/Q11/Q16/Q22 light). Q1 is near-fully parallel —
+// the paper's linear-scale-out exemplar (Fig 1.1a) — while Q19's large serial
+// fraction reproduces its non-linear behaviour (Fig 1.1c).
+// Serial fractions are small for most templates — commercial MPPDBs
+// partition TPC-H well, and the paper treats linear scale-out as the common
+// case with Q19 as the notable exception (Fig 1.1c).
+constexpr TpchProfile kTpchProfiles[] = {
+    {"TPCH-Q1", 0.60, 0.010},  {"TPCH-Q2", 0.10, 0.030},
+    {"TPCH-Q3", 0.30, 0.020},  {"TPCH-Q4", 0.20, 0.020},
+    {"TPCH-Q5", 0.35, 0.030},  {"TPCH-Q6", 0.15, 0.005},
+    {"TPCH-Q7", 0.30, 0.030},  {"TPCH-Q8", 0.30, 0.030},
+    {"TPCH-Q9", 0.80, 0.040},  {"TPCH-Q10", 0.30, 0.020},
+    {"TPCH-Q11", 0.08, 0.030}, {"TPCH-Q12", 0.20, 0.020},
+    {"TPCH-Q13", 0.40, 0.050}, {"TPCH-Q14", 0.15, 0.010},
+    {"TPCH-Q15", 0.20, 0.020}, {"TPCH-Q16", 0.10, 0.040},
+    {"TPCH-Q17", 0.45, 0.030}, {"TPCH-Q18", 0.60, 0.030},
+    {"TPCH-Q19", 0.35, 0.350}, {"TPCH-Q20", 0.30, 0.020},
+    {"TPCH-Q21", 0.70, 0.050}, {"TPCH-Q22", 0.12, 0.030},
+};
+
+constexpr int kNumTpcdsTemplates = 24;
+constexpr uint64_t kTpcdsSeed = 0x7c05d5u;  // fixed: catalog is deterministic
+
+}  // namespace
+
+QueryCatalog QueryCatalog::Default() {
+  std::vector<QueryTemplate> templates;
+  for (const auto& p : kTpchProfiles) {
+    QueryTemplate t;
+    t.name = p.name;
+    t.work_seconds_per_gb = p.work_seconds_per_gb * kWorkScale;
+    t.serial_fraction = p.serial_fraction;
+    templates.push_back(std::move(t));
+  }
+  // TPC-DS-style templates: broader cost spread (DS has many short reporting
+  // queries and a few very heavy ones), deterministic across builds.
+  Rng rng(kTpcdsSeed);
+  for (int k = 1; k <= kNumTpcdsTemplates; ++k) {
+    QueryTemplate t;
+    char name[32];
+    snprintf(name, sizeof(name), "TPCDS-Q%d", k);
+    t.name = name;
+    // Log-uniform-ish work spread in [0.05, 0.85] s/GB before calibration.
+    double u = rng.NextDouble();
+    t.work_seconds_per_gb = (0.05 + 0.80 * u * u) * kWorkScale;
+    // Most DS queries parallelize well; roughly a quarter have a noticeable
+    // serial component.
+    t.serial_fraction =
+        rng.NextBool(0.25) ? 0.10 + 0.15 * rng.NextDouble()
+                           : 0.005 + 0.035 * rng.NextDouble();
+    templates.push_back(std::move(t));
+  }
+  return QueryCatalog(std::move(templates));
+}
+
+QueryCatalog::QueryCatalog(std::vector<QueryTemplate> templates)
+    : templates_(std::move(templates)) {
+  for (size_t i = 0; i < templates_.size(); ++i) {
+    templates_[i].id = static_cast<TemplateId>(i);
+    if (templates_[i].name.rfind("TPCH", 0) == 0) {
+      tpch_ids_.push_back(templates_[i].id);
+    } else {
+      tpcds_ids_.push_back(templates_[i].id);
+    }
+  }
+}
+
+const QueryTemplate& QueryCatalog::Get(TemplateId id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < templates_.size());
+  return templates_[static_cast<size_t>(id)];
+}
+
+Result<TemplateId> QueryCatalog::FindByName(const std::string& name) const {
+  for (const auto& t : templates_) {
+    if (t.name == name) return t.id;
+  }
+  return Status::NotFound("no query template named " + name);
+}
+
+const std::vector<TemplateId>& QueryCatalog::SuiteTemplates(
+    QuerySuite suite) const {
+  return suite == QuerySuite::kTpch ? tpch_ids_ : tpcds_ids_;
+}
+
+TemplateId QueryCatalog::SampleFromSuite(QuerySuite suite, Rng* rng) const {
+  const auto& ids = SuiteTemplates(suite);
+  assert(!ids.empty());
+  return ids[rng->NextBounded(ids.size())];
+}
+
+}  // namespace thrifty

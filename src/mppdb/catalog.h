@@ -1,0 +1,60 @@
+// Query template catalog (TPC-H + TPC-DS style workloads).
+//
+// The paper's tenants hold TPC-H or TPC-DS data with equal probability and
+// submit uniformly random queries from the corresponding suite (§7.1 Step 1).
+// This catalog provides the 22 TPC-H templates with hand-calibrated cost
+// profiles — including Q1 as the linear-scale-out exemplar and Q19 as the
+// non-linear exemplar of Fig 1.1 — plus 24 TPC-DS-style templates generated
+// deterministically from a fixed seed.
+
+#ifndef THRIFTY_MPPDB_CATALOG_H_
+#define THRIFTY_MPPDB_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "mppdb/query_model.h"
+
+namespace thrifty {
+
+/// \brief Benchmark suite a tenant's schema/workload belongs to.
+enum class QuerySuite {
+  kTpch = 0,
+  kTpcds = 1,
+};
+
+const char* QuerySuiteToString(QuerySuite suite);
+
+/// \brief Immutable collection of query templates, indexed by TemplateId.
+class QueryCatalog {
+ public:
+  /// \brief Builds the default TPC-H + TPC-DS catalog.
+  static QueryCatalog Default();
+
+  /// \brief Builds a catalog from explicit templates (ids are reassigned to
+  /// positions).
+  explicit QueryCatalog(std::vector<QueryTemplate> templates);
+
+  const QueryTemplate& Get(TemplateId id) const;
+  Result<TemplateId> FindByName(const std::string& name) const;
+
+  /// \brief Ids of all templates in the given suite (by name prefix).
+  const std::vector<TemplateId>& SuiteTemplates(QuerySuite suite) const;
+
+  /// \brief Draws a uniformly random template id from the suite.
+  TemplateId SampleFromSuite(QuerySuite suite, Rng* rng) const;
+
+  size_t size() const { return templates_.size(); }
+  const std::vector<QueryTemplate>& templates() const { return templates_; }
+
+ private:
+  std::vector<QueryTemplate> templates_;
+  std::vector<TemplateId> tpch_ids_;
+  std::vector<TemplateId> tpcds_ids_;
+};
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_MPPDB_CATALOG_H_

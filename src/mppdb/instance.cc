@@ -1,0 +1,220 @@
+#include "mppdb/instance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace thrifty {
+
+namespace {
+// Remaining work at or below this (milliseconds at dedicated rate) counts as
+// finished; covers floating-point residue from the share arithmetic.
+constexpr double kDoneEpsilonMs = 1e-6;
+}  // namespace
+
+const char* InstanceStateToString(InstanceState state) {
+  switch (state) {
+    case InstanceState::kProvisioning:
+      return "provisioning";
+    case InstanceState::kLoading:
+      return "loading";
+    case InstanceState::kOnline:
+      return "online";
+    case InstanceState::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
+double QueryCompletion::NormalizedPerformance() const {
+  if (reference_latency <= 0) return 0;
+  return static_cast<double>(MeasuredLatency()) /
+         static_cast<double>(reference_latency);
+}
+
+MppdbInstance::MppdbInstance(InstanceId id, int nodes, SimEngine* engine,
+                             InstanceState initial_state)
+    : id_(id), nodes_(nodes), engine_(engine), state_(initial_state) {
+  assert(nodes >= 1);
+  assert(engine != nullptr);
+  last_progress_update_ = engine->now();
+}
+
+void MppdbInstance::SetState(InstanceState state) { state_ = state; }
+
+void MppdbInstance::AddTenant(TenantId tenant, double data_gb) {
+  assert(data_gb >= 0);
+  tenant_data_gb_[tenant] = data_gb;
+}
+
+Status MppdbInstance::RemoveTenant(TenantId tenant) {
+  if (IsServingTenant(tenant)) {
+    return Status::FailedPrecondition("tenant has running queries");
+  }
+  if (tenant_data_gb_.erase(tenant) == 0) {
+    return Status::NotFound("tenant not hosted on this instance");
+  }
+  return Status::OK();
+}
+
+bool MppdbInstance::HostsTenant(TenantId tenant) const {
+  return tenant_data_gb_.count(tenant) > 0;
+}
+
+double MppdbInstance::TenantDataGb(TenantId tenant) const {
+  auto it = tenant_data_gb_.find(tenant);
+  return it == tenant_data_gb_.end() ? 0 : it->second;
+}
+
+double MppdbInstance::TotalDataGb() const {
+  double total = 0;
+  for (const auto& [tenant, gb] : tenant_data_gb_) total += gb;
+  return total;
+}
+
+double MppdbInstance::SpeedFactor() const {
+  return static_cast<double>(nodes_ - failed_nodes_) /
+         static_cast<double>(nodes_);
+}
+
+void MppdbInstance::AdvanceProgress(SimTime now) {
+  if (!running_.empty() && now > last_progress_update_) {
+    double share = SpeedFactor() / static_cast<double>(running_.size());
+    double progressed =
+        static_cast<double>(now - last_progress_update_) * share;
+    for (auto& q : running_) q.remaining_ms -= progressed;
+  }
+  last_progress_update_ = now;
+}
+
+void MppdbInstance::RescheduleCompletion() {
+  engine_->Cancel(completion_event_);
+  completion_event_ = kInvalidEventId;
+  if (running_.empty()) return;
+  double min_remaining = running_[0].remaining_ms;
+  for (const auto& q : running_) {
+    min_remaining = std::min(min_remaining, q.remaining_ms);
+  }
+  double share = SpeedFactor() / static_cast<double>(running_.size());
+  // Wall time until the least-remaining query completes under the current
+  // share. Ceil so the event never fires before the true completion.
+  SimDuration wait = static_cast<SimDuration>(
+      std::ceil(std::max(min_remaining, 0.0) / share));
+  if (wait < 1 && min_remaining > kDoneEpsilonMs) wait = 1;
+  completion_event_ = engine_->ScheduleAfter(
+      wait, [this](SimTime t) { OnCompletionEvent(t); });
+}
+
+void MppdbInstance::OnCompletionEvent(SimTime now) {
+  completion_event_ = kInvalidEventId;
+  AdvanceProgress(now);
+  std::vector<QueryCompletion> done;
+  for (auto it = running_.begin(); it != running_.end();) {
+    if (it->remaining_ms <= kDoneEpsilonMs) {
+      QueryCompletion c;
+      c.query_id = it->query_id;
+      c.tenant_id = it->tenant_id;
+      c.template_id = it->template_id;
+      c.instance_id = id_;
+      c.submit_time = it->submit_time;
+      c.finish_time = now;
+      c.dedicated_latency = it->dedicated_latency;
+      c.reference_latency = it->reference_latency;
+      c.max_concurrency = it->max_concurrency;
+      done.push_back(c);
+      it = running_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  completed_queries_ += done.size();
+  if (running_.empty() && !done.empty()) {
+    busy_time_ += now - busy_since_;
+  }
+  RescheduleCompletion();
+  // Callbacks fire after internal state is consistent: a callback may submit
+  // follow-up queries to this very instance.
+  if (on_completion_) {
+    for (const auto& c : done) on_completion_(c);
+  }
+}
+
+Status MppdbInstance::Submit(const QuerySubmission& submission,
+                             const QueryTemplate& tmpl) {
+  if (state_ != InstanceState::kOnline) {
+    return Status::Unavailable(std::string("instance is ") +
+                               InstanceStateToString(state_));
+  }
+  auto it = tenant_data_gb_.find(submission.tenant_id);
+  if (it == tenant_data_gb_.end()) {
+    return Status::NotFound("tenant data not deployed on this instance");
+  }
+  SimTime now = engine_->now();
+  AdvanceProgress(now);
+
+  RunningQuery q;
+  q.query_id = submission.query_id;
+  q.tenant_id = submission.tenant_id;
+  q.template_id = tmpl.id;
+  q.submit_time = now;
+  q.dedicated_latency = tmpl.DedicatedLatency(it->second, nodes_);
+  q.reference_latency = submission.reference_latency;
+  q.remaining_ms = static_cast<double>(q.dedicated_latency);
+  q.max_concurrency = static_cast<int>(running_.size()) + 1;
+  if (running_.empty()) busy_since_ = now;
+  running_.push_back(q);
+  int k = static_cast<int>(running_.size());
+  for (auto& r : running_) r.max_concurrency = std::max(r.max_concurrency, k);
+  RescheduleCompletion();
+  return Status::OK();
+}
+
+bool MppdbInstance::IsServingTenant(TenantId tenant) const {
+  for (const auto& q : running_) {
+    if (q.tenant_id == tenant) return true;
+  }
+  return false;
+}
+
+int MppdbInstance::ActiveTenantCount() const {
+  int count = 0;
+  for (size_t i = 0; i < running_.size(); ++i) {
+    bool seen = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (running_[j].tenant_id == running_[i].tenant_id) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) ++count;
+  }
+  return count;
+}
+
+Status MppdbInstance::InjectNodeFailure() {
+  if (failed_nodes_ >= nodes_ - 1) {
+    return Status::FailedPrecondition(
+        "instance would lose all serving capacity");
+  }
+  AdvanceProgress(engine_->now());
+  ++failed_nodes_;
+  RescheduleCompletion();
+  return Status::OK();
+}
+
+Status MppdbInstance::RepairNode() {
+  if (failed_nodes_ == 0) {
+    return Status::FailedPrecondition("no failed node to repair");
+  }
+  AdvanceProgress(engine_->now());
+  --failed_nodes_;
+  RescheduleCompletion();
+  return Status::OK();
+}
+
+SimDuration MppdbInstance::busy_time() const {
+  if (running_.empty()) return busy_time_;
+  return busy_time_ + (engine_->now() - busy_since_);
+}
+
+}  // namespace thrifty

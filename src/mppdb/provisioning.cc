@@ -1,0 +1,24 @@
+#include "mppdb/provisioning.h"
+
+#include <cassert>
+
+namespace thrifty {
+
+SimDuration ProvisioningModel::NodeStartTime(int nodes) const {
+  assert(nodes >= 1);
+  return SecondsToDuration(startup_base_seconds +
+                           startup_per_node_seconds * nodes);
+}
+
+SimDuration ProvisioningModel::BulkLoadTime(double data_gb) const {
+  assert(data_gb >= 0);
+  if (data_gb == 0) return 0;
+  return SecondsToDuration(load_base_seconds + load_per_gb_seconds * data_gb);
+}
+
+SimDuration ProvisioningModel::TotalPrepTime(int nodes,
+                                             double data_gb) const {
+  return NodeStartTime(nodes) + BulkLoadTime(data_gb);
+}
+
+}  // namespace thrifty

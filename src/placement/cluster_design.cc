@@ -1,0 +1,49 @@
+#include "placement/cluster_design.h"
+
+#include <string>
+
+namespace thrifty {
+
+int GroupClusterDesign::TotalNodes() const {
+  int total = 0;
+  for (int n : mppdb_nodes) total += n;
+  return total;
+}
+
+Result<GroupClusterDesign> DesignGroupCluster(int largest_tenant_nodes,
+                                              int64_t total_requested_nodes,
+                                              int num_mppdbs,
+                                              int tuning_nodes_u) {
+  if (largest_tenant_nodes < 1) {
+    return Status::InvalidArgument("largest tenant must request >= 1 node");
+  }
+  if (num_mppdbs < 1) {
+    return Status::InvalidArgument("a group needs at least one MPPDB");
+  }
+  if (tuning_nodes_u == 0) tuning_nodes_u = largest_tenant_nodes;
+  if (tuning_nodes_u < largest_tenant_nodes) {
+    return Status::InvalidArgument(
+        "tuning MPPDB must have at least n_1 = " +
+        std::to_string(largest_tenant_nodes) + " nodes");
+  }
+  // U may not exceed N - (A-1) n_1: consolidation must still save vs the
+  // tenants' aggregate request. A single-tenant group (N == n_1) is exempt
+  // from the upper bound beyond U = n_1 being the only valid choice there.
+  int64_t u_max = total_requested_nodes -
+                  static_cast<int64_t>(num_mppdbs - 1) * largest_tenant_nodes;
+  if (u_max < largest_tenant_nodes) u_max = largest_tenant_nodes;
+  if (tuning_nodes_u > u_max) {
+    return Status::InvalidArgument(
+        "tuning MPPDB of " + std::to_string(tuning_nodes_u) +
+        " nodes exceeds the limit U <= N - (A-1) n_1 = " +
+        std::to_string(u_max));
+  }
+  GroupClusterDesign design;
+  design.mppdb_nodes.push_back(tuning_nodes_u);
+  for (int g = 1; g < num_mppdbs; ++g) {
+    design.mppdb_nodes.push_back(largest_tenant_nodes);
+  }
+  return design;
+}
+
+}  // namespace thrifty

@@ -1,0 +1,47 @@
+// TDD cluster design (§4.1): arranging a tenant-group's nodes into MPPDBs.
+//
+// A tenant-group with largest member n_1 is served by A MPPDBs: groups
+// G_1..G_{A-1} get exactly n_1 nodes, and the special group G_0 — the
+// "tuning MPPDB" used for overflow/concurrent processing — gets U nodes,
+// n_1 <= U <= N - (A-1) n_1. By default U = n_1; Chapter 6's manual tuning
+// raises U to absorb concurrency spikes on MPPDB_0.
+
+#ifndef THRIFTY_PLACEMENT_CLUSTER_DESIGN_H_
+#define THRIFTY_PLACEMENT_CLUSTER_DESIGN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "workload/tenant.h"
+
+namespace thrifty {
+
+/// \brief Node arrangement of one tenant-group.
+struct GroupClusterDesign {
+  /// Node count per MPPDB; index 0 is the tuning MPPDB (G_0 / MPPDB_0).
+  std::vector<int> mppdb_nodes;
+
+  int NumMppdbs() const { return static_cast<int>(mppdb_nodes.size()); }
+  int TotalNodes() const;
+  int tuning_nodes() const {
+    return mppdb_nodes.empty() ? 0 : mppdb_nodes[0];
+  }
+};
+
+/// \brief Designs the cluster for a tenant-group.
+///
+/// \param largest_tenant_nodes n_1, the node count of the group's largest
+///        tenant (every MPPDB must offer at least this parallelism so any
+///        single active tenant gets exact-or-higher degree of parallelism).
+/// \param total_requested_nodes N, the sum of the group's requests (upper
+///        bounds U).
+/// \param num_mppdbs A; under TDD A equals the replication factor R.
+/// \param tuning_nodes_u U for G_0; 0 selects the default U = n_1.
+Result<GroupClusterDesign> DesignGroupCluster(int largest_tenant_nodes,
+                                              int64_t total_requested_nodes,
+                                              int num_mppdbs,
+                                              int tuning_nodes_u = 0);
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_PLACEMENT_CLUSTER_DESIGN_H_

@@ -1,0 +1,73 @@
+// Deployment plans: the Deployment Advisor's output (Chapter 3).
+//
+// A plan = cluster design (how nodes form MPPDBs, per tenant-group) +
+// tenant placement (each tenant of a group is deployed on all of its
+// group's MPPDBs, giving replication factor A = R; Property 1).
+
+#ifndef THRIFTY_PLACEMENT_DEPLOYMENT_PLAN_H_
+#define THRIFTY_PLACEMENT_DEPLOYMENT_PLAN_H_
+
+#include <ostream>
+#include <vector>
+
+#include "common/result.h"
+#include "placement/cluster_design.h"
+#include "placement/problem.h"
+#include "workload/tenant.h"
+
+namespace thrifty {
+
+/// \brief Index of a tenant-group within a deployment plan.
+using GroupId = int32_t;
+
+/// \brief Everything needed to deploy one tenant-group.
+struct GroupDeployment {
+  GroupId group_id = -1;
+  /// Member tenants (full specs, so the master knows data sizes).
+  std::vector<TenantSpec> tenants;
+  /// Node arrangement; size A = R MPPDBs, [0] is the tuning MPPDB.
+  GroupClusterDesign cluster;
+  /// Grouping quality stats carried over from the solver.
+  double ttp = 1.0;
+  int max_active = 0;
+
+  /// \brief Largest member's node count (the parallelism every MPPDB of the
+  /// group must offer).
+  int LargestTenantNodes() const;
+
+  /// \brief Sum of members' requested nodes.
+  int64_t RequestedNodes() const;
+};
+
+/// \brief A full deployment plan for the service.
+struct DeploymentPlan {
+  std::vector<GroupDeployment> groups;
+  int replication_factor = 3;
+  double sla_fraction = 0.999;
+
+  /// \brief Total nodes the plan consumes.
+  int64_t TotalNodesUsed() const;
+
+  /// \brief Total nodes the tenants requested.
+  int64_t TotalNodesRequested() const;
+
+  /// \brief 1 - used / requested.
+  double ConsolidationEffectiveness() const;
+
+  /// \brief Group hosting the given tenant, or NotFound.
+  Result<GroupId> GroupOf(TenantId tenant) const;
+
+  /// \brief Human-readable summary (group count, nodes, effectiveness).
+  void PrintSummary(std::ostream& os) const;
+};
+
+/// \brief Assembles a deployment plan from a grouping solution.
+///
+/// Uses A = R MPPDBs per group and the default tuning size U = n_1.
+Result<DeploymentPlan> BuildDeploymentPlan(
+    const std::vector<TenantSpec>& tenants, const GroupingSolution& grouping,
+    int replication_factor, double sla_fraction);
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_PLACEMENT_DEPLOYMENT_PLAN_H_

@@ -1,0 +1,117 @@
+#include "placement/divergent.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace thrifty {
+
+double PartitionLayout::SpeedupFor(TemplateId id) const {
+  auto it = speedups.find(id);
+  return it == speedups.end() ? 1.0 : it->second;
+}
+
+namespace {
+
+// Quality of a layout assignment: the worst template's best speedup across
+// the chosen layouts (higher = every template has some fast replica).
+double WorstTemplateBestSpeedup(
+    const std::vector<TemplateId>& templates,
+    const std::vector<PartitionLayout>& layouts,
+    const std::vector<size_t>& chosen) {
+  double worst = std::numeric_limits<double>::infinity();
+  for (TemplateId t : templates) {
+    double best = 0;
+    for (size_t layout : chosen) {
+      best = std::max(best, layouts[layout].SpeedupFor(t));
+    }
+    worst = std::min(worst, best);
+  }
+  return worst;
+}
+
+}  // namespace
+
+Result<DivergentGroupDesign> PlanDivergentGroup(
+    int largest_tenant_nodes, int64_t total_requested_nodes, int num_mppdbs,
+    const std::vector<TemplateId>& workload_templates,
+    const std::vector<PartitionLayout>& layouts,
+    const DivergentDesignOptions& options) {
+  if (workload_templates.empty()) {
+    return Status::InvalidArgument(
+        "divergent design needs the extracted query templates");
+  }
+  if (layouts.empty()) {
+    return Status::InvalidArgument("no candidate partition layouts");
+  }
+  if (options.expected_mpl < 1) {
+    return Status::InvalidArgument("expected MPL must be >= 1");
+  }
+  if (num_mppdbs < 1) {
+    return Status::InvalidArgument("a group needs at least one MPPDB");
+  }
+
+  // Greedy max-coverage layout assignment: each replica picks the layout
+  // that most improves the worst template's best speedup; ties prefer the
+  // layout with the larger average speedup over the workload.
+  std::vector<size_t> chosen;
+  for (int replica = 0; replica < num_mppdbs; ++replica) {
+    size_t best_layout = 0;
+    double best_worst = -1;
+    double best_avg = -1;
+    for (size_t candidate = 0; candidate < layouts.size(); ++candidate) {
+      std::vector<size_t> trial = chosen;
+      trial.push_back(candidate);
+      double worst =
+          WorstTemplateBestSpeedup(workload_templates, layouts, trial);
+      double avg = 0;
+      for (TemplateId t : workload_templates) {
+        avg += layouts[candidate].SpeedupFor(t);
+      }
+      avg /= static_cast<double>(workload_templates.size());
+      if (worst > best_worst + 1e-12 ||
+          (std::abs(worst - best_worst) <= 1e-12 && avg > best_avg)) {
+        best_worst = worst;
+        best_avg = avg;
+        best_layout = candidate;
+      }
+    }
+    chosen.push_back(best_layout);
+  }
+
+  // Size U: MPPDB_0 must run `expected_mpl` concurrent report queries each
+  // at >= n_1-equivalent rate under processor sharing. Its layout's worst
+  // workload speedup s_0 counts as extra parallelism, so
+  //   U >= ceil(expected_mpl * n_1 / s_0).
+  double s0 = std::numeric_limits<double>::infinity();
+  for (TemplateId t : workload_templates) {
+    s0 = std::min(s0, layouts[chosen[0]].SpeedupFor(t));
+  }
+  int u = static_cast<int>(std::ceil(
+      static_cast<double>(options.expected_mpl) * largest_tenant_nodes / s0 -
+      1e-12));
+  u = std::max(u, largest_tenant_nodes);
+
+  int64_t u_max = total_requested_nodes -
+                  static_cast<int64_t>(num_mppdbs - 1) * largest_tenant_nodes;
+  if (u_max < largest_tenant_nodes) u_max = largest_tenant_nodes;
+  if (u > u_max) {
+    return Status::CapacityExceeded(
+        "expected MPL " + std::to_string(options.expected_mpl) +
+        " needs U = " + std::to_string(u) + " > bound " +
+        std::to_string(u_max) +
+        "; keep this group on the general reactive plan");
+  }
+
+  DivergentGroupDesign design;
+  THRIFTY_ASSIGN_OR_RETURN(
+      design.cluster,
+      DesignGroupCluster(largest_tenant_nodes, total_requested_nodes,
+                         num_mppdbs, u));
+  design.replica_layouts = std::move(chosen);
+  design.worst_template_best_speedup = WorstTemplateBestSpeedup(
+      workload_templates, layouts, design.replica_layouts);
+  return design;
+}
+
+}  // namespace thrifty

@@ -1,0 +1,79 @@
+// Tenant-driven divergent design (Chapter 8 future work #3).
+//
+// For the special tenant class that never submits ad-hoc queries (report
+// generation only, templates extractable upfront), the paper plans "a
+// specialized tenant-driven divergent design that uses U > n_1 nodes for
+// MPPDB_0 upfront and different partition schemes for different MPPDBs
+// [Consens et al., Divergent physical design tuning] in order to deal with
+// the non-linear scale-out problem".
+//
+// This module implements that design: each replica of a tenant-group may
+// use a different partition layout; a layout speeds up the templates it
+// favours (equivalent to extra parallelism for them); layouts are assigned
+// to replicas to maximize the worst workload template's best speedup, and
+// MPPDB_0's size U is derived so that the expected report MPL can be
+// processed concurrently on MPPDB_0 at dedicated speed.
+
+#ifndef THRIFTY_PLACEMENT_DIVERGENT_H_
+#define THRIFTY_PLACEMENT_DIVERGENT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "mppdb/query_model.h"
+#include "placement/cluster_design.h"
+
+namespace thrifty {
+
+/// \brief One physical partition layout and the templates it accelerates.
+struct PartitionLayout {
+  std::string name;
+  /// Per-template speedup factor (> 1 = runs that much faster under this
+  /// layout); templates not listed run at factor 1.
+  std::unordered_map<TemplateId, double> speedups;
+
+  double SpeedupFor(TemplateId id) const;
+};
+
+/// \brief Divergent-design knobs.
+struct DivergentDesignOptions {
+  /// Report queries MPPDB_0 must absorb concurrently at dedicated speed.
+  int expected_mpl = 2;
+};
+
+/// \brief The resulting design for one report-only tenant-group.
+struct DivergentGroupDesign {
+  /// Cluster design with U (> n_1) in slot 0.
+  GroupClusterDesign cluster;
+  /// Layout index per MPPDB (parallel to cluster.mppdb_nodes).
+  std::vector<size_t> replica_layouts;
+  /// min over workload templates of the best speedup available on any
+  /// replica (the divergence payoff; 1.0 means some template gains nothing
+  /// anywhere).
+  double worst_template_best_speedup = 1.0;
+};
+
+/// \brief Plans a divergent design for one tenant-group.
+///
+/// \param largest_tenant_nodes n_1.
+/// \param total_requested_nodes N (bounds U <= N - (A-1) n_1).
+/// \param num_mppdbs A (= R).
+/// \param workload_templates the tenants' extracted report templates
+///        (must be non-empty).
+/// \param layouts candidate partition layouts (must be non-empty; the same
+///        layout may serve several replicas).
+///
+/// Fails with CapacityExceeded when the U the expected MPL needs does not
+/// fit under the N - (A-1) n_1 bound — such a group should stay on the
+/// general (reactive) plan instead.
+Result<DivergentGroupDesign> PlanDivergentGroup(
+    int largest_tenant_nodes, int64_t total_requested_nodes, int num_mppdbs,
+    const std::vector<TemplateId>& workload_templates,
+    const std::vector<PartitionLayout>& layouts,
+    const DivergentDesignOptions& options = DivergentDesignOptions());
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_PLACEMENT_DIVERGENT_H_

@@ -1,0 +1,127 @@
+#include "placement/exact.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "activity/level_set.h"
+
+namespace thrifty {
+
+namespace {
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const PackingProblem& problem,
+                 const ExactSolverOptions& options)
+      : problem_(problem), options_(options) {
+    // Order items by decreasing node count so group max_nodes is fixed by
+    // the first member, which tightens the incremental cost.
+    for (const auto& item : problem.items) order_.push_back(&item);
+    std::sort(order_.begin(), order_.end(),
+              [](const PackingItem* a, const PackingItem* b) {
+                if (a->nodes != b->nodes) return a->nodes > b->nodes;
+                return a->tenant_id < b->tenant_id;
+              });
+  }
+
+  Result<GroupingSolution> Solve() {
+    best_cost_ = INT64_MAX;
+    Recurse(0, 0);
+    if (nodes_exhausted_) {
+      return Status::CapacityExceeded("exact solver search budget exhausted");
+    }
+    GroupingSolution solution;
+    solution.groups = best_groups_;
+    return solution;
+  }
+
+ private:
+  struct OpenGroup {
+    std::unique_ptr<GroupLevelSet> levels;
+    TenantGroupResult group;
+  };
+
+  void Recurse(size_t index, int64_t cost) {
+    if (nodes_exhausted_) return;
+    if (++visited_ > options_.max_search_nodes) {
+      nodes_exhausted_ = true;
+      return;
+    }
+    if (cost >= best_cost_) return;  // cost is monotone in assignments
+    if (index == order_.size()) {
+      best_cost_ = cost;
+      best_groups_.clear();
+      for (const auto& g : open_) {
+        TenantGroupResult result = g.group;
+        result.ttp = g.levels->Ttp(problem_.replication_factor);
+        result.max_active = g.levels->MaxActive();
+        best_groups_.push_back(std::move(result));
+      }
+      return;
+    }
+    const PackingItem* item = order_[index];
+    const int r = problem_.replication_factor;
+
+    // Try each open group. Deeper recursion pushes (and pops) new groups on
+    // open_, so index-based access is required: references into the vector
+    // do not survive reallocation.
+    const size_t num_open = open_.size();
+    for (size_t gi = 0; gi < num_open; ++gi) {
+      std::vector<size_t> pops =
+          open_[gi].levels->EvaluateAdd(*item->activity);
+      if (open_[gi].levels->TtpFromPopcounts(pops, r) + 1e-12 <
+          problem_.sla_fraction) {
+        continue;
+      }
+      // Items arrive in decreasing node order, so max_nodes cannot grow.
+      open_[gi].levels->Add(*item->activity);
+      open_[gi].group.tenant_ids.push_back(item->tenant_id);
+      Recurse(index + 1, cost);
+      open_[gi].group.tenant_ids.pop_back();
+      Status st = open_[gi].levels->Remove(*item->activity);
+      (void)st;
+    }
+
+    // Open a new group (symmetry-safe: a new group is interchangeable with
+    // any other new group, and this is the only way this item starts one).
+    OpenGroup g;
+    g.levels = std::make_unique<GroupLevelSet>(problem_.num_epochs);
+    g.levels->Add(*item->activity);
+    g.group.tenant_ids.push_back(item->tenant_id);
+    g.group.max_nodes = item->nodes;
+    int64_t new_cost =
+        cost + static_cast<int64_t>(problem_.replication_factor) * item->nodes;
+    open_.push_back(std::move(g));
+    Recurse(index + 1, new_cost);
+    open_.pop_back();
+  }
+
+  const PackingProblem& problem_;
+  const ExactSolverOptions& options_;
+  std::vector<const PackingItem*> order_;
+  std::vector<OpenGroup> open_;
+  std::vector<TenantGroupResult> best_groups_;
+  int64_t best_cost_ = INT64_MAX;
+  int64_t visited_ = 0;
+  bool nodes_exhausted_ = false;
+};
+
+}  // namespace
+
+Result<GroupingSolution> SolveExact(const PackingProblem& problem,
+                                    const ExactSolverOptions& options) {
+  THRIFTY_RETURN_NOT_OK(problem.Validate());
+  auto start = std::chrono::steady_clock::now();
+  BranchAndBound solver(problem, options);
+  auto result = solver.Solve();
+  THRIFTY_RETURN_NOT_OK(result.status());
+  GroupingSolution solution = std::move(result).value();
+  solution.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return solution;
+}
+
+}  // namespace thrifty

@@ -1,0 +1,34 @@
+// Exact branch-and-bound solver for the LIVBPwFC.
+//
+// The paper's MINLP formulation (Appendix 9.1) is only solvable by
+// general-purpose global optimizers — DIRECT took ~12 days for 20 tenants —
+// so exact solving exists purely to validate the heuristics on tiny
+// instances. This branch-and-bound enumerates assignments of items to groups
+// (with first-item symmetry breaking) and prunes on the monotone cost.
+
+#ifndef THRIFTY_PLACEMENT_EXACT_H_
+#define THRIFTY_PLACEMENT_EXACT_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "placement/problem.h"
+
+namespace thrifty {
+
+struct ExactSolverOptions {
+  /// Search-node budget; the solver fails with CapacityExceeded beyond it.
+  int64_t max_search_nodes = 20'000'000;
+};
+
+/// \brief Finds a provably optimal grouping.
+///
+/// Intended for instances up to roughly a dozen tenants; fails cleanly when
+/// the node budget is exhausted.
+Result<GroupingSolution> SolveExact(
+    const PackingProblem& problem,
+    const ExactSolverOptions& options = ExactSolverOptions());
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_PLACEMENT_EXACT_H_

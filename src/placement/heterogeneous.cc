@@ -1,0 +1,149 @@
+#include "placement/heterogeneous.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace thrifty {
+
+double NodeInventory::TotalCapability() const {
+  double total = 0;
+  for (const auto& c : classes) total += c.count * c.speed;
+  return total;
+}
+
+int NodeInventory::TotalNodes() const {
+  int total = 0;
+  for (const auto& c : classes) total += c.count;
+  return total;
+}
+
+int HeterogeneousMppdb::TotalNodes() const {
+  int total = 0;
+  for (const auto& [cls, count] : allocation) total += count;
+  return total;
+}
+
+namespace {
+
+// Effective capability of an allocation under the straggler discount.
+double EffectiveCapability(const NodeInventory& inventory,
+                           const std::vector<std::pair<size_t, int>>& alloc,
+                           double mixing_penalty) {
+  double raw = 0;
+  double min_speed = std::numeric_limits<double>::infinity();
+  double max_speed = 0;
+  for (const auto& [cls, count] : alloc) {
+    const NodeClass& c = inventory.classes[cls];
+    raw += count * c.speed;
+    min_speed = std::min(min_speed, c.speed);
+    max_speed = std::max(max_speed, c.speed);
+  }
+  if (raw <= 0) return 0;
+  double discount =
+      1.0 - mixing_penalty * (1.0 - min_speed / max_speed);
+  return raw * discount;
+}
+
+}  // namespace
+
+Result<HeterogeneousMppdb> AllocateMppdb(
+    NodeInventory* inventory, double required_capability,
+    const HeterogeneousDesignOptions& options) {
+  if (inventory == nullptr) {
+    return Status::InvalidArgument("null inventory");
+  }
+  if (required_capability <= 0) {
+    return Status::InvalidArgument("required capability must be positive");
+  }
+  for (const auto& c : inventory->classes) {
+    if (c.speed <= 0 || c.count < 0) {
+      return Status::InvalidArgument("node class " + c.name +
+                                     " has invalid speed or count");
+    }
+  }
+
+  // Candidate 1: the best homogeneous build.
+  const size_t num_classes = inventory->classes.size();
+  size_t best_class = num_classes;
+  double best_waste = std::numeric_limits<double>::infinity();
+  int best_nodes = 0;
+  for (size_t cls = 0; cls < num_classes; ++cls) {
+    const NodeClass& c = inventory->classes[cls];
+    if (c.count == 0) continue;
+    int needed =
+        static_cast<int>(std::ceil(required_capability / c.speed - 1e-12));
+    if (needed > c.count) continue;
+    double waste = needed * c.speed - required_capability;
+    if (waste < best_waste - 1e-12 ||
+        (std::abs(waste - best_waste) <= 1e-12 && needed < best_nodes)) {
+      best_waste = waste;
+      best_class = cls;
+      best_nodes = needed;
+    }
+  }
+  if (best_class < num_classes) {
+    HeterogeneousMppdb mppdb;
+    mppdb.allocation = {{best_class, best_nodes}};
+    mppdb.effective_capability = EffectiveCapability(
+        *inventory, mppdb.allocation, options.mixing_penalty);
+    inventory->classes[best_class].count -= best_nodes;
+    return mppdb;
+  }
+
+  // Candidate 2: mix greedily from fastest to slowest until the effective
+  // (discounted) capability reaches the requirement.
+  std::vector<size_t> order(num_classes);
+  for (size_t i = 0; i < num_classes; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return inventory->classes[a].speed > inventory->classes[b].speed;
+  });
+  std::vector<std::pair<size_t, int>> alloc;
+  for (size_t cls : order) {
+    int available = inventory->classes[cls].count;
+    if (available == 0) continue;
+    // Add nodes of this class one by one until satisfied or exhausted.
+    int used = 0;
+    while (used < available) {
+      ++used;
+      std::vector<std::pair<size_t, int>> trial = alloc;
+      trial.push_back({cls, used});
+      if (EffectiveCapability(*inventory, trial, options.mixing_penalty) +
+              1e-12 >=
+          required_capability) {
+        alloc = std::move(trial);
+        HeterogeneousMppdb mppdb;
+        mppdb.allocation = alloc;
+        mppdb.effective_capability = EffectiveCapability(
+            *inventory, alloc, options.mixing_penalty);
+        for (const auto& [c, n] : alloc) inventory->classes[c].count -= n;
+        return mppdb;
+      }
+    }
+    alloc.push_back({cls, available});
+  }
+  return Status::CapacityExceeded(
+      "inventory cannot assemble an MPPDB of capability " +
+      std::to_string(required_capability));
+}
+
+Result<std::vector<HeterogeneousMppdb>> DesignHeterogeneousGroupCluster(
+    NodeInventory* inventory, double largest_tenant_nodes, int num_mppdbs,
+    const HeterogeneousDesignOptions& options) {
+  if (num_mppdbs < 1) {
+    return Status::InvalidArgument("a group needs at least one MPPDB");
+  }
+  // Fail atomically: work on a copy, commit on success.
+  NodeInventory scratch = *inventory;
+  std::vector<HeterogeneousMppdb> mppdbs;
+  for (int g = 0; g < num_mppdbs; ++g) {
+    THRIFTY_ASSIGN_OR_RETURN(
+        HeterogeneousMppdb mppdb,
+        AllocateMppdb(&scratch, largest_tenant_nodes, options));
+    mppdbs.push_back(std::move(mppdb));
+  }
+  *inventory = std::move(scratch);
+  return mppdbs;
+}
+
+}  // namespace thrifty

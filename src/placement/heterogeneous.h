@@ -1,0 +1,79 @@
+// Heterogeneous cluster design (Chapter 8 future work #1).
+//
+// Thrifty proper assumes identical nodes; the paper calls extending it to
+// heterogeneous machines "an important yet challenging task". This module
+// provides that extension for the cluster-design step: the pool is an
+// inventory of node classes with relative speeds, an MPPDB's capability is
+// the sum of its nodes' speeds, and a tenant requesting n reference nodes
+// needs an MPPDB of capability >= n. The designer packs each MPPDB from the
+// inventory minimizing wasted capability (and, on ties, node count),
+// preferring homogeneous MPPDBs — mixed-speed MPPDBs are as slow as their
+// stragglers during repartitioned scans, so a mixing penalty discounts a
+// heterogeneous MPPDB's effective capability.
+
+#ifndef THRIFTY_PLACEMENT_HETEROGENEOUS_H_
+#define THRIFTY_PLACEMENT_HETEROGENEOUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace thrifty {
+
+/// \brief One class of identical machines in the pool.
+struct NodeClass {
+  std::string name;
+  /// Available machines of this class.
+  int count = 0;
+  /// Speed relative to the reference node (1.0 = the homogeneous node the
+  /// tenants' requests are denominated in).
+  double speed = 1.0;
+};
+
+/// \brief The heterogeneous pool.
+struct NodeInventory {
+  std::vector<NodeClass> classes;
+
+  /// \brief Total capability (sum of count x speed).
+  double TotalCapability() const;
+  int TotalNodes() const;
+};
+
+/// \brief Designer knobs.
+struct HeterogeneousDesignOptions {
+  /// Effective capability of a mixed MPPDB is scaled by
+  /// 1 - mixing_penalty x (1 - min_speed/max_speed): a straggler-bound
+  /// discount. 0 disables the penalty, 1 makes capability min-speed-bound.
+  double mixing_penalty = 0.5;
+};
+
+/// \brief One MPPDB assembled from the inventory.
+struct HeterogeneousMppdb {
+  /// (class index, node count) pairs, only non-zero entries.
+  std::vector<std::pair<size_t, int>> allocation;
+  /// Effective capability after the mixing penalty.
+  double effective_capability = 0;
+  int TotalNodes() const;
+};
+
+/// \brief Assembles one MPPDB of effective capability >= `required` from
+/// the (mutable) inventory, consuming the nodes it uses.
+///
+/// Strategy: try each single class (cheapest feasible homogeneous build
+/// wins by wasted capability, then node count); if no single class
+/// suffices, greedily mix from fastest to slowest. Fails with
+/// CapacityExceeded when the remaining inventory cannot reach `required`.
+Result<HeterogeneousMppdb> AllocateMppdb(
+    NodeInventory* inventory, double required_capability,
+    const HeterogeneousDesignOptions& options = HeterogeneousDesignOptions());
+
+/// \brief Designs a tenant-group's A MPPDBs (each of capability >= n_1)
+/// from the inventory, consuming nodes.
+Result<std::vector<HeterogeneousMppdb>> DesignHeterogeneousGroupCluster(
+    NodeInventory* inventory, double largest_tenant_nodes, int num_mppdbs,
+    const HeterogeneousDesignOptions& options = HeterogeneousDesignOptions());
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_PLACEMENT_HETEROGENEOUS_H_

@@ -1,0 +1,133 @@
+#include "placement/plan_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace thrifty {
+
+Status WriteDeploymentPlan(const DeploymentPlan& plan, std::ostream& os) {
+  os << "thrifty-plan v1\n";
+  os << "replication " << plan.replication_factor << "\n";
+  os << "sla " << plan.sla_fraction << "\n";
+  for (const auto& group : plan.groups) {
+    os << "group " << group.group_id << " mppdbs";
+    for (int nodes : group.cluster.mppdb_nodes) os << ' ' << nodes;
+    os << "\n";
+    for (const auto& tenant : group.tenants) {
+      os << "tenant " << tenant.id << " nodes " << tenant.requested_nodes
+         << " data_gb " << tenant.data_gb << " suite "
+         << QuerySuiteToString(tenant.suite) << " tz "
+         << tenant.time_zone_offset_hours << " users " << tenant.max_users
+         << "\n";
+    }
+  }
+  os << "end\n";
+  if (!os) return Status::Internal("stream write failure");
+  return Status::OK();
+}
+
+namespace {
+
+Status Malformed(size_t line_no, const std::string& why) {
+  return Status::InvalidArgument("plan line " + std::to_string(line_no) +
+                                 ": " + why);
+}
+
+}  // namespace
+
+Result<DeploymentPlan> ReadDeploymentPlan(std::istream& is) {
+  std::string line;
+  size_t line_no = 0;
+  if (!std::getline(is, line) || line != "thrifty-plan v1") {
+    return Status::InvalidArgument("missing 'thrifty-plan v1' header");
+  }
+  ++line_no;
+
+  DeploymentPlan plan;
+  bool have_replication = false;
+  bool have_sla = false;
+  bool ended = false;
+  GroupDeployment* current = nullptr;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string keyword;
+    ss >> keyword;
+    if (keyword == "replication") {
+      if (!(ss >> plan.replication_factor) || plan.replication_factor < 1) {
+        return Malformed(line_no, "bad replication factor");
+      }
+      have_replication = true;
+    } else if (keyword == "sla") {
+      if (!(ss >> plan.sla_fraction) || plan.sla_fraction <= 0 ||
+          plan.sla_fraction > 1) {
+        return Malformed(line_no, "bad SLA fraction");
+      }
+      have_sla = true;
+    } else if (keyword == "group") {
+      GroupDeployment group;
+      std::string mppdbs_keyword;
+      if (!(ss >> group.group_id >> mppdbs_keyword) ||
+          mppdbs_keyword != "mppdbs") {
+        return Malformed(line_no, "expected 'group <id> mppdbs <nodes>...'");
+      }
+      int nodes;
+      while (ss >> nodes) {
+        if (nodes < 1) return Malformed(line_no, "MPPDB with < 1 node");
+        group.cluster.mppdb_nodes.push_back(nodes);
+      }
+      if (group.cluster.mppdb_nodes.empty()) {
+        return Malformed(line_no, "group with no MPPDBs");
+      }
+      plan.groups.push_back(std::move(group));
+      current = &plan.groups.back();
+    } else if (keyword == "tenant") {
+      if (current == nullptr) {
+        return Malformed(line_no, "tenant before any group");
+      }
+      TenantSpec tenant;
+      std::string kw_nodes, kw_data, kw_suite, kw_tz, kw_users, suite;
+      if (!(ss >> tenant.id >> kw_nodes >> tenant.requested_nodes >>
+            kw_data >> tenant.data_gb >> kw_suite >> suite >> kw_tz >>
+            tenant.time_zone_offset_hours >> kw_users >> tenant.max_users) ||
+          kw_nodes != "nodes" || kw_data != "data_gb" ||
+          kw_suite != "suite" || kw_tz != "tz" || kw_users != "users") {
+        return Malformed(line_no, "bad tenant line");
+      }
+      if (suite == "TPCH") {
+        tenant.suite = QuerySuite::kTpch;
+      } else if (suite == "TPCDS") {
+        tenant.suite = QuerySuite::kTpcds;
+      } else {
+        return Malformed(line_no, "unknown suite " + suite);
+      }
+      if (tenant.requested_nodes < 1 || tenant.data_gb < 0) {
+        return Malformed(line_no, "bad tenant parameters");
+      }
+      current->tenants.push_back(tenant);
+    } else if (keyword == "end") {
+      ended = true;
+      break;
+    } else {
+      return Malformed(line_no, "unknown keyword " + keyword);
+    }
+  }
+  if (!ended) return Status::InvalidArgument("plan missing 'end'");
+  if (!have_replication || !have_sla) {
+    return Status::InvalidArgument("plan missing replication/sla header");
+  }
+  for (const auto& group : plan.groups) {
+    if (group.tenants.empty()) {
+      return Status::InvalidArgument("group " +
+                                     std::to_string(group.group_id) +
+                                     " has no tenants");
+    }
+  }
+  return plan;
+}
+
+}  // namespace thrifty

@@ -1,0 +1,37 @@
+// Deployment-plan serialization.
+//
+// Plans are computed offline by the Deployment Advisor and applied later by
+// the Deployment Master (the deployment "is supposed to be static for
+// days"), so they need a durable representation. The format is a simple
+// line-oriented text format:
+//
+//   thrifty-plan v1
+//   replication <R>
+//   sla <P>
+//   group <id> mppdbs <n0> <n1> ... <nA-1>
+//   tenant <id> nodes <n> data_gb <gb> suite <TPCH|TPCDS> tz <hours> users <s>
+//   ...
+//   end
+//
+// Tenants listed after a `group` line belong to that group; `end` closes
+// the plan.
+
+#ifndef THRIFTY_PLACEMENT_PLAN_IO_H_
+#define THRIFTY_PLACEMENT_PLAN_IO_H_
+
+#include <iosfwd>
+
+#include "common/result.h"
+#include "placement/deployment_plan.h"
+
+namespace thrifty {
+
+/// \brief Serializes a plan.
+Status WriteDeploymentPlan(const DeploymentPlan& plan, std::ostream& os);
+
+/// \brief Parses a plan written by WriteDeploymentPlan.
+Result<DeploymentPlan> ReadDeploymentPlan(std::istream& is);
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_PLACEMENT_PLAN_IO_H_

@@ -1,0 +1,110 @@
+#include "placement/two_step.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "activity/level_set.h"
+
+namespace thrifty {
+
+int CompareCandidateLevels(const std::vector<size_t>& a,
+                           const std::vector<size_t>& b) {
+  // Entry m-1 counts epochs with >= m active tenants; epochs with exactly m
+  // is the difference of adjacent entries. Compare exact counts from the
+  // top level down: fewer epochs at the highest activity level wins.
+  size_t levels = std::max(a.size(), b.size());
+  for (size_t m = levels; m >= 1; --m) {
+    size_t am = m <= a.size() ? a[m - 1] : 0;
+    size_t am1 = m < a.size() ? a[m] : 0;
+    size_t bm = m <= b.size() ? b[m - 1] : 0;
+    size_t bm1 = m < b.size() ? b[m] : 0;
+    size_t ea = am - am1;
+    size_t eb = bm - bm1;
+    if (ea != eb) return ea < eb ? -1 : 1;
+  }
+  return 0;
+}
+
+Result<GroupingSolution> SolveTwoStep(const PackingProblem& problem) {
+  THRIFTY_RETURN_NOT_OK(problem.Validate());
+  auto start = std::chrono::steady_clock::now();
+  const int r = problem.replication_factor;
+
+  // Step 1: initial groups by requested node count. Descending size so the
+  // output lists big tenants first (cosmetic; groups are independent).
+  std::map<int, std::vector<const PackingItem*>, std::greater<int>> initial;
+  for (const auto& item : problem.items) {
+    initial[item.nodes].push_back(&item);
+  }
+
+  GroupingSolution solution;
+  for (auto& [nodes, members] : initial) {
+    // Seeding picks the least active tenant first; sorting the whole list by
+    // activity makes that the front element at every iteration.
+    std::vector<const PackingItem*>& remaining = members;
+    std::sort(remaining.begin(), remaining.end(),
+              [](const PackingItem* a, const PackingItem* b) {
+                size_t aa = a->activity->ActiveEpochs();
+                size_t bb = b->activity->ActiveEpochs();
+                if (aa != bb) return aa < bb;
+                return a->tenant_id < b->tenant_id;
+              });
+
+    while (!remaining.empty()) {
+      GroupLevelSet levels(problem.num_epochs);
+      TenantGroupResult group;
+      group.max_nodes = nodes;
+
+      // Seed with the least active remaining tenant.
+      const PackingItem* seed = remaining.front();
+      remaining.erase(remaining.begin());
+      levels.Add(*seed->activity);
+      group.tenant_ids.push_back(seed->tenant_id);
+
+      // Grow: per Algorithm 2, pick T_best by the max-active criterion and
+      // close the group if adding T_best would violate the SLA guarantee.
+      while (!remaining.empty()) {
+        size_t best_index = 0;
+        std::vector<size_t> best_pops;
+        for (size_t i = 0; i < remaining.size(); ++i) {
+          std::vector<size_t> pops =
+              levels.EvaluateAdd(*remaining[i]->activity);
+          if (best_pops.empty()) {
+            best_pops = std::move(pops);
+            best_index = i;
+            continue;
+          }
+          int cmp = CompareCandidateLevels(pops, best_pops);
+          bool better =
+              cmp < 0 || (cmp == 0 && remaining[i]->tenant_id >
+                                          remaining[best_index]->tenant_id);
+          if (better) {
+            best_pops = std::move(pops);
+            best_index = i;
+          }
+        }
+        if (levels.TtpFromPopcounts(best_pops, r) + 1e-12 <
+            problem.sla_fraction) {
+          break;  // adding T_best would violate P; start a new tenant-group
+        }
+        const PackingItem* best = remaining[best_index];
+        remaining.erase(remaining.begin() +
+                        static_cast<ptrdiff_t>(best_index));
+        levels.Add(*best->activity);
+        group.tenant_ids.push_back(best->tenant_id);
+      }
+
+      group.ttp = levels.Ttp(r);
+      group.max_active = levels.MaxActive();
+      solution.groups.push_back(std::move(group));
+    }
+  }
+
+  solution.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return solution;
+}
+
+}  // namespace thrifty

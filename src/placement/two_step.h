@@ -1,0 +1,40 @@
+// The two-step tenant-grouping heuristic (Algorithm 2, §5) — Thrifty's
+// solver for the LIVBPwFC.
+//
+// Step 1 puts tenants requesting the same number of nodes into the same
+// *initial group* (tenants of equal size share bins so the largest-item
+// objective wastes nothing).
+//
+// Step 2 splits each initial group into tenant-groups: seed a group with the
+// least active tenant, then repeatedly add the tenant T_best that minimizes
+// the increase in the time percentage of the maximum number of active
+// tenants (ties cascade to lower activity levels, exactly as in the paper's
+// Fig 5.3 walkthrough; full ties resolve to the higher tenant id, matching
+// Fig 5.3d). The group closes when adding T_best would drop its TTP at R
+// below the SLA guarantee P.
+
+#ifndef THRIFTY_PLACEMENT_TWO_STEP_H_
+#define THRIFTY_PLACEMENT_TWO_STEP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "placement/problem.h"
+
+namespace thrifty {
+
+/// \brief Compares two candidate outcomes by the Fig 5.3 criterion.
+///
+/// `a` and `b` are EvaluateAdd popcount vectors (epochs with >= m active).
+/// Returns negative if a is the better (smaller) outcome, positive if b is,
+/// 0 on a full tie. Comparison runs over exact-level fractions from the
+/// highest level downward.
+int CompareCandidateLevels(const std::vector<size_t>& a,
+                           const std::vector<size_t>& b);
+
+/// \brief Solves the problem with the two-step heuristic.
+Result<GroupingSolution> SolveTwoStep(const PackingProblem& problem);
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_PLACEMENT_TWO_STEP_H_

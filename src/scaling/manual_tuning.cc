@@ -1,0 +1,63 @@
+#include "scaling/manual_tuning.h"
+
+#include <algorithm>
+
+namespace thrifty {
+
+const char* TuningActionToString(TuningAction action) {
+  switch (action) {
+    case TuningAction::kNone:
+      return "none";
+    case TuningAction::kRaiseTuningNodes:
+      return "raise-tuning-nodes";
+    case TuningAction::kElasticScale:
+      return "elastic-scale";
+  }
+  return "unknown";
+}
+
+Result<TuningAdvice> AdviseTuning(double rt_ttp, bool rt_ttp_trending_down,
+                                  double sla_fraction,
+                                  int largest_tenant_nodes,
+                                  int current_tuning_nodes,
+                                  int max_tuning_nodes,
+                                  int observed_overflow_concurrency,
+                                  double small_breach_threshold) {
+  if (rt_ttp < 0 || rt_ttp > 1 || sla_fraction <= 0 || sla_fraction > 1) {
+    return Status::InvalidArgument("fractions must lie in [0, 1]");
+  }
+  if (largest_tenant_nodes < 1 || current_tuning_nodes < largest_tenant_nodes) {
+    return Status::InvalidArgument("tuning MPPDB smaller than n_1");
+  }
+  if (observed_overflow_concurrency < 1) {
+    return Status::InvalidArgument("overflow concurrency must be >= 1");
+  }
+
+  TuningAdvice advice;
+  advice.recommended_tuning_nodes = current_tuning_nodes;
+  if (rt_ttp + 1e-12 >= sla_fraction) {
+    advice.action = TuningAction::kNone;
+    return advice;
+  }
+  double breach = sla_fraction - rt_ttp;
+  if (rt_ttp_trending_down || breach > small_breach_threshold) {
+    advice.action = TuningAction::kElasticScale;
+    return advice;
+  }
+  // Tiny, flat breach: size MPPDB_0 so that the observed overflow
+  // concurrency still gives each query at least n_1 nodes' worth of
+  // processor-sharing rate (U / k >= n_1), clamped to the design bound.
+  int wanted = largest_tenant_nodes * (observed_overflow_concurrency + 1);
+  wanted = std::min(wanted, max_tuning_nodes);
+  if (wanted <= current_tuning_nodes) {
+    // Already at or above what the overflow needs (or at the cap): a bigger
+    // U cannot help, so scale elastically.
+    advice.action = TuningAction::kElasticScale;
+    return advice;
+  }
+  advice.action = TuningAction::kRaiseTuningNodes;
+  advice.recommended_tuning_nodes = wanted;
+  return advice;
+}
+
+}  // namespace thrifty

@@ -1,0 +1,57 @@
+// Manual tuning of the tuning MPPDB (Chapter 6).
+//
+// When a group's RT-TTP sits only slightly below P and is not trending
+// down, starting a whole new MPPDB is overkill. A system administrator can
+// instead raise U — the node count of MPPDB_0 — so that the rare overflow
+// queries (Algorithm 1 line 10) are concurrently processed with enough extra
+// parallelism to still meet their latency SLA empirically.
+
+#ifndef THRIFTY_SCALING_MANUAL_TUNING_H_
+#define THRIFTY_SCALING_MANUAL_TUNING_H_
+
+#include "common/result.h"
+
+namespace thrifty {
+
+/// \brief What the administrator should do about a group's RT-TTP breach.
+enum class TuningAction {
+  /// RT-TTP is fine; do nothing.
+  kNone,
+  /// Small, flat breach: override elastic scaling and raise U instead.
+  kRaiseTuningNodes,
+  /// Large or worsening breach: let elastic scaling proceed.
+  kElasticScale,
+};
+
+const char* TuningActionToString(TuningAction action);
+
+struct TuningAdvice {
+  TuningAction action = TuningAction::kNone;
+  /// Recommended U when action == kRaiseTuningNodes (otherwise the current
+  /// value).
+  int recommended_tuning_nodes = 0;
+};
+
+/// \brief Advises on a group's RT-TTP breach.
+///
+/// \param rt_ttp the group's current 24 h RT-TTP.
+/// \param rt_ttp_trending_down whether the monitor shows a continuing drop.
+/// \param sla_fraction P.
+/// \param largest_tenant_nodes n_1 of the group.
+/// \param current_tuning_nodes the current U.
+/// \param max_tuning_nodes the U upper bound N - (A-1) n_1.
+/// \param observed_overflow_concurrency highest number of queries seen
+///        concurrently on MPPDB_0 during breaches (>= 1).
+/// \param small_breach_threshold breaches up to this far below P count as
+///        "tiny" (the paper's example: 99.8% vs 99.9% = 0.001).
+Result<TuningAdvice> AdviseTuning(double rt_ttp, bool rt_ttp_trending_down,
+                                  double sla_fraction,
+                                  int largest_tenant_nodes,
+                                  int current_tuning_nodes,
+                                  int max_tuning_nodes,
+                                  int observed_overflow_concurrency,
+                                  double small_breach_threshold = 0.002);
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_SCALING_MANUAL_TUNING_H_

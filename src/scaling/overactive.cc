@@ -1,0 +1,90 @@
+#include "scaling/overactive.h"
+
+#include <algorithm>
+
+#include "activity/level_set.h"
+#include "placement/two_step.h"
+
+namespace thrifty {
+
+Result<std::vector<TenantId>> IdentifyOveractiveTenants(
+    const std::vector<ActivityVector>& member_activity,
+    int replication_factor, double sla_fraction) {
+  if (member_activity.empty()) {
+    return Status::InvalidArgument("empty tenant-group");
+  }
+  size_t num_epochs = member_activity[0].num_epochs();
+  for (const auto& a : member_activity) {
+    if (a.num_epochs() != num_epochs) {
+      return Status::InvalidArgument("mismatched activity vector lengths");
+    }
+  }
+
+  // Algorithm 2's second step, building a single group.
+  std::vector<const ActivityVector*> remaining;
+  for (const auto& a : member_activity) remaining.push_back(&a);
+  std::sort(remaining.begin(), remaining.end(),
+            [](const ActivityVector* a, const ActivityVector* b) {
+              if (a->ActiveEpochs() != b->ActiveEpochs()) {
+                return a->ActiveEpochs() < b->ActiveEpochs();
+              }
+              return a->tenant_id() < b->tenant_id();
+            });
+
+  GroupLevelSet levels(num_epochs);
+  levels.Add(*remaining.front());
+  remaining.erase(remaining.begin());
+
+  while (!remaining.empty()) {
+    size_t best_index = 0;
+    std::vector<size_t> best_pops;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      std::vector<size_t> pops = levels.EvaluateAdd(*remaining[i]);
+      if (best_pops.empty()) {
+        best_pops = std::move(pops);
+        best_index = i;
+        continue;
+      }
+      int cmp = CompareCandidateLevels(pops, best_pops);
+      bool better = cmp < 0 || (cmp == 0 && remaining[i]->tenant_id() >
+                                                remaining[best_index]
+                                                    ->tenant_id());
+      if (better) {
+        best_pops = std::move(pops);
+        best_index = i;
+      }
+    }
+    if (levels.TtpFromPopcounts(best_pops, replication_factor) + 1e-12 <
+        sla_fraction) {
+      break;  // everyone left is over-active
+    }
+    levels.Add(*remaining[best_index]);
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best_index));
+  }
+
+  std::vector<TenantId> overactive;
+  overactive.reserve(remaining.size());
+  for (const ActivityVector* a : remaining) {
+    overactive.push_back(a->tenant_id());
+  }
+  std::sort(overactive.begin(), overactive.end());
+  return overactive;
+}
+
+Result<TenantId> MostActiveTenant(
+    const std::vector<ActivityVector>& member_activity) {
+  if (member_activity.empty()) {
+    return Status::InvalidArgument("empty tenant-group");
+  }
+  const ActivityVector* best = &member_activity[0];
+  for (const auto& a : member_activity) {
+    if (a.ActiveEpochs() > best->ActiveEpochs() ||
+        (a.ActiveEpochs() == best->ActiveEpochs() &&
+         a.tenant_id() > best->tenant_id())) {
+      best = &a;
+    }
+  }
+  return best->tenant_id();
+}
+
+}  // namespace thrifty

@@ -1,0 +1,38 @@
+// Over-active-tenant identification (§5.1).
+//
+// When a tenant-group's RT-TTP drops below P, Thrifty must find the
+// tenant(s) that are more active than history indicated. The algorithm is
+// the tenant-grouping algorithm (Algorithm 2) restricted to the group's own
+// members and their *recent* activity: tenants that can no longer fit into
+// a single group with TTP >= P are the over-active ones.
+
+#ifndef THRIFTY_SCALING_OVERACTIVE_H_
+#define THRIFTY_SCALING_OVERACTIVE_H_
+
+#include <vector>
+
+#include "activity/activity_vector.h"
+#include "common/result.h"
+
+namespace thrifty {
+
+/// \brief Identifies the over-active tenants of one tenant-group.
+///
+/// \param member_activity recent activity vectors of the group's members
+///        (e.g. from the last 24-hour window).
+/// \param replication_factor R.
+/// \param sla_fraction P.
+/// \returns tenant ids that do not fit; possibly empty (a transient spike
+/// that the regrouping can still absorb).
+Result<std::vector<TenantId>> IdentifyOveractiveTenants(
+    const std::vector<ActivityVector>& member_activity,
+    int replication_factor, double sla_fraction);
+
+/// \brief The member with the largest recent active ratio (fallback victim
+/// when regrouping fits everyone but RT-TTP is still below P).
+Result<TenantId> MostActiveTenant(
+    const std::vector<ActivityVector>& member_activity);
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_SCALING_OVERACTIVE_H_

@@ -1,0 +1,74 @@
+#include "scaling/proactive.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace thrifty {
+
+RtTtpTrendPredictor::RtTtpTrendPredictor(TrendPredictorOptions options)
+    : options_(options) {
+  assert(options_.window_samples >= 2);
+  assert(options_.min_samples >= 2);
+}
+
+void RtTtpTrendPredictor::AddSample(SimTime time, double rt_ttp) {
+  assert(samples_.empty() || time >= samples_.back().time);
+  samples_.push_back({time, rt_ttp});
+  while (samples_.size() > options_.window_samples) samples_.pop_front();
+}
+
+Result<double> RtTtpTrendPredictor::SlopePerHour() const {
+  if (samples_.size() < options_.min_samples) {
+    return Status::FailedPrecondition("not enough RT-TTP samples yet");
+  }
+  // Least squares over (hours since first sample, value).
+  double n = static_cast<double>(samples_.size());
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0;
+  SimTime t0 = samples_.front().time;
+  for (const auto& s : samples_) {
+    double x = static_cast<double>(s.time - t0) / kHour;
+    sum_x += x;
+    sum_y += s.value;
+    sum_xx += x * x;
+    sum_xy += x * s.value;
+  }
+  double denom = n * sum_xx - sum_x * sum_x;
+  if (denom <= 1e-12) return 0.0;  // all samples at (nearly) the same time
+  return (n * sum_xy - sum_x * sum_y) / denom;
+}
+
+Result<double> RtTtpTrendPredictor::PredictAt(SimTime time) const {
+  THRIFTY_ASSIGN_OR_RETURN(double slope, SlopePerHour());
+  // Intercept from the mean point of the fit.
+  double n = static_cast<double>(samples_.size());
+  double mean_x = 0, mean_y = 0;
+  SimTime t0 = samples_.front().time;
+  for (const auto& s : samples_) {
+    mean_x += static_cast<double>(s.time - t0) / kHour;
+    mean_y += s.value;
+  }
+  mean_x /= n;
+  mean_y /= n;
+  double x = static_cast<double>(time - t0) / kHour;
+  return std::clamp(mean_y + slope * (x - mean_x), 0.0, 1.0);
+}
+
+Result<bool> RtTtpTrendPredictor::PredictsBreach(double sla_fraction,
+                                                 SimDuration lead,
+                                                 SimTime now) const {
+  THRIFTY_ASSIGN_OR_RETURN(double slope, SlopePerHour());
+  if (slope >= 0) return false;
+  // Spike guard: the decline must be sustained across the window, not one
+  // sharp dip (possibly already recovering).
+  size_t non_increasing = 0;
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    if (samples_[i].value <= samples_[i - 1].value + 1e-12) ++non_increasing;
+  }
+  double fraction = static_cast<double>(non_increasing) /
+                    static_cast<double>(samples_.size() - 1);
+  if (fraction < options_.sustained_fraction) return false;
+  THRIFTY_ASSIGN_OR_RETURN(double predicted, PredictAt(now + lead));
+  return predicted < sla_fraction;
+}
+
+}  // namespace thrifty

@@ -1,0 +1,68 @@
+// Proactive elastic scaling support (§5.1 discussion).
+//
+// The paper's Thrifty is reactive; it notes a proactive alternative —
+// predict at run time whether the RT-TTP will soon drop below P and trigger
+// lightweight scaling before the breach — but warns that it "is subjected
+// to prediction error and spikes (e.g., sharp drop of RT-TTP followed by
+// sharp rise) in tenant activities". This module implements that
+// alternative: a least-squares trend predictor over recent RT-TTP samples
+// with a spike guard (a breach is only predicted when the decline is
+// sustained, not a single-sample dip).
+
+#ifndef THRIFTY_SCALING_PROACTIVE_H_
+#define THRIFTY_SCALING_PROACTIVE_H_
+
+#include <deque>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+
+namespace thrifty {
+
+/// \brief Configuration of the trend predictor.
+struct TrendPredictorOptions {
+  /// Number of recent (time, RT-TTP) samples regressed over.
+  size_t window_samples = 12;
+  /// Minimum samples before any prediction is made.
+  size_t min_samples = 6;
+  /// Spike guard: at least this fraction of consecutive sample steps must
+  /// be non-increasing for the decline to count as sustained.
+  double sustained_fraction = 0.7;
+};
+
+/// \brief Least-squares RT-TTP trend with spike rejection.
+class RtTtpTrendPredictor {
+ public:
+  explicit RtTtpTrendPredictor(
+      TrendPredictorOptions options = TrendPredictorOptions());
+
+  /// \brief Feeds one sample; times must be non-decreasing.
+  void AddSample(SimTime time, double rt_ttp);
+
+  size_t sample_count() const { return samples_.size(); }
+
+  /// \brief Fitted slope in RT-TTP units per hour; fails with
+  /// FailedPrecondition until min_samples are available.
+  Result<double> SlopePerHour() const;
+
+  /// \brief Extrapolated RT-TTP at `time` (clamped to [0, 1]).
+  Result<double> PredictAt(SimTime time) const;
+
+  /// \brief True if the fitted trend is a *sustained* decline that crosses
+  /// below `sla_fraction` within `lead` from `now`.
+  Result<bool> PredictsBreach(double sla_fraction, SimDuration lead,
+                              SimTime now) const;
+
+ private:
+  struct Sample {
+    SimTime time;
+    double value;
+  };
+
+  TrendPredictorOptions options_;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_SCALING_PROACTIVE_H_

@@ -1,0 +1,63 @@
+#include "scaling/rt_ttp_monitor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace thrifty {
+
+RtTtpMonitor::RtTtpMonitor(int r, SimDuration window)
+    : r_(r), window_(window) {
+  assert(r >= 0);
+  assert(window > 0);
+}
+
+void RtTtpMonitor::OnActiveCountChange(SimTime now, int count) {
+  assert(segments_.empty() || now >= segments_.back().since);
+  if (!segments_.empty() && segments_.back().since == now) {
+    segments_.back().count = count;
+    // Collapse a no-op rewrite into the previous segment.
+    if (segments_.size() >= 2 &&
+        segments_[segments_.size() - 2].count == count) {
+      segments_.pop_back();
+    }
+    return;
+  }
+  if (!segments_.empty() && segments_.back().count == count) return;
+  segments_.push_back({now, count});
+  Prune(now - window_);
+}
+
+int RtTtpMonitor::current_count() const {
+  return segments_.empty() ? 0 : segments_.back().count;
+}
+
+double RtTtpMonitor::FractionAbove(SimTime now, int threshold) const {
+  SimTime begin = now - window_;
+  if (now <= begin) return 0;
+  SimDuration above = 0;
+  // Sweep segments overlapping [begin, now). Time before the first segment
+  // counts as zero active tenants (never above a non-negative threshold).
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    SimTime seg_begin = std::max(segments_[i].since, begin);
+    SimTime seg_end =
+        i + 1 < segments_.size() ? segments_[i + 1].since : now;
+    seg_end = std::min(seg_end, now);
+    if (seg_end <= seg_begin) continue;
+    if (segments_[i].count > threshold) above += seg_end - seg_begin;
+  }
+  return static_cast<double>(above) / static_cast<double>(window_);
+}
+
+double RtTtpMonitor::RtTtp(SimTime now) const {
+  return 1.0 - FractionAbove(now, r_);
+}
+
+void RtTtpMonitor::Prune(SimTime horizon) {
+  // Keep at least one segment starting at or before the horizon so the
+  // straddling portion remains computable.
+  while (segments_.size() >= 2 && segments_[1].since <= horizon) {
+    segments_.pop_front();
+  }
+}
+
+}  // namespace thrifty

@@ -1,0 +1,41 @@
+#include "sim/engine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace thrifty {
+
+EventId SimEngine::ScheduleAt(SimTime t, EventCallback cb) {
+  assert(t >= now_);
+  if (t < now_) t = now_;  // release-mode safety: never travel backwards
+  return queue_.Schedule(t, std::move(cb));
+}
+
+EventId SimEngine::ScheduleAfter(SimDuration delay, EventCallback cb) {
+  assert(delay >= 0);
+  return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+}
+
+bool SimEngine::Step() {
+  if (queue_.Empty()) return false;
+  SimTime t;
+  EventCallback cb = queue_.Pop(&t);
+  now_ = t;
+  ++events_processed_;
+  cb(t);
+  return true;
+}
+
+void SimEngine::Run() {
+  while (Step()) {
+  }
+}
+
+void SimEngine::RunUntil(SimTime deadline) {
+  while (!queue_.Empty() && queue_.NextTime() <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace thrifty

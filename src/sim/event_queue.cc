@@ -1,0 +1,56 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace thrifty {
+
+EventId EventQueue::Schedule(SimTime t, EventCallback cb) {
+  EventId id = next_id_++;
+  queue_.push(Entry{t, id, std::move(cb)});
+  pending_.insert(id);
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) {
+  if (id == kInvalidEventId) return;
+  // Cancelling an id that already fired (or was already cancelled) is a
+  // no-op: only pending ids carry a tombstone.
+  if (pending_.erase(id) > 0) {
+    cancelled_.insert(id);
+  }
+}
+
+void EventQueue::SkipCancelled() {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+bool EventQueue::Empty() {
+  SkipCancelled();
+  return queue_.empty();
+}
+
+SimTime EventQueue::NextTime() {
+  SkipCancelled();
+  return queue_.empty() ? kNeverTime : queue_.top().time;
+}
+
+EventCallback EventQueue::Pop(SimTime* time) {
+  SkipCancelled();
+  assert(!queue_.empty());
+  // priority_queue::top() is const; the callback is moved out via const_cast,
+  // which is safe because the entry is popped immediately after.
+  Entry& top = const_cast<Entry&>(queue_.top());
+  *time = top.time;
+  EventCallback cb = std::move(top.cb);
+  pending_.erase(top.id);
+  queue_.pop();
+  return cb;
+}
+
+}  // namespace thrifty

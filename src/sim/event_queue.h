@@ -1,0 +1,79 @@
+// Cancellable priority event queue for the discrete-event engine.
+
+#ifndef THRIFTY_SIM_EVENT_QUEUE_H_
+#define THRIFTY_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace thrifty {
+
+/// \brief Handle identifying a scheduled event (for cancellation).
+using EventId = uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+/// \brief Callback invoked when an event fires; receives the firing time.
+using EventCallback = std::function<void(SimTime)>;
+
+/// \brief Time-ordered queue of cancellable events.
+///
+/// Events at equal times fire in scheduling order (FIFO by sequence number),
+/// which makes simulation runs fully deterministic. Cancellation is lazy:
+/// cancelled entries are skipped at pop time.
+class EventQueue {
+ public:
+  /// \brief Schedules `cb` at absolute time `t`; returns a cancellation
+  /// handle.
+  EventId Schedule(SimTime t, EventCallback cb);
+
+  /// \brief Cancels a previously scheduled event. Cancelling an already
+  /// fired or already cancelled event is a harmless no-op.
+  void Cancel(EventId id);
+
+  /// \brief True if no live event remains.
+  bool Empty();
+
+  /// \brief Time of the earliest live event; kNeverTime if empty.
+  SimTime NextTime();
+
+  /// \brief Removes and returns the earliest live event.
+  ///
+  /// Must not be called when Empty(). Sets *time to the event's time.
+  EventCallback Pop(SimTime* time);
+
+  /// \brief Number of live (scheduled, not yet fired or cancelled) events.
+  size_t LiveCount() const { return pending_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    EventCallback cb;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      // Larger time (or larger sequence at equal time) = lower priority.
+      return a.time > b.time || (a.time == b.time && a.id > b.id);
+    }
+  };
+
+  /// \brief Drops cancelled entries from the queue head.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  /// Ids scheduled but not yet fired or cancelled. Guards Cancel against
+  /// ids that already fired (a stale cancel must be a no-op).
+  std::unordered_set<EventId> pending_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_SIM_EVENT_QUEUE_H_

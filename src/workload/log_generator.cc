@@ -1,0 +1,190 @@
+#include "workload/log_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace thrifty {
+
+SessionLibrary::SessionLibrary(const QueryCatalog* catalog,
+                               std::vector<int> node_sizes,
+                               int sessions_per_class, Rng rng,
+                               SessionOptions session_options)
+    : node_sizes_(std::move(node_sizes)),
+      sessions_per_class_(sessions_per_class) {
+  assert(catalog != nullptr);
+  assert(sessions_per_class >= 1);
+  SessionSimulator simulator(catalog, session_options);
+  uint64_t stream = 1;
+  for (int nodes : node_sizes_) {
+    for (QuerySuite suite : {QuerySuite::kTpch, QuerySuite::kTpcds}) {
+      auto& pool = sessions_[{nodes, suite}];
+      pool.reserve(static_cast<size_t>(sessions_per_class));
+      for (int s = 0; s < sessions_per_class; ++s) {
+        Rng session_rng = rng.Fork(stream++);
+        int num_users = static_cast<int>(session_rng.NextInt(1, 5));
+        pool.push_back(simulator.Run(nodes, kDataGbPerNode * nodes, suite,
+                                     num_users, &session_rng));
+      }
+    }
+  }
+}
+
+Result<const TenantLog*> SessionLibrary::Sample(int nodes, QuerySuite suite,
+                                                Rng* rng) const {
+  auto it = sessions_.find({nodes, suite});
+  if (it == sessions_.end() || it->second.empty()) {
+    return Status::NotFound("no session logs for " + std::to_string(nodes) +
+                            "-node " + QuerySuiteToString(suite));
+  }
+  return &it->second[rng->NextBounded(it->second.size())];
+}
+
+Result<const std::vector<TenantLog>*> SessionLibrary::SessionsFor(
+    int nodes, QuerySuite suite) const {
+  auto it = sessions_.find({nodes, suite});
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session logs for " + std::to_string(nodes) +
+                            "-node " + QuerySuiteToString(suite));
+  }
+  return &it->second;
+}
+
+LogComposer::LogComposer(const SessionLibrary* library,
+                         LogComposerOptions options)
+    : library_(library), options_(std::move(options)) {
+  assert(library != nullptr);
+}
+
+namespace {
+
+// Composition core shared by Compose and ComposeActivity: makes every
+// sampling decision of §7.1 Step 2 and reports each placed session via
+// `visit(spec, session_start, session)`. The two entry points differ only
+// in what they do with a placed session.
+template <typename Visitor>
+Status ForEachSession(const SessionLibrary& library,
+                      const LogComposerOptions& options,
+                      std::vector<TenantSpec>* tenants, Rng* rng,
+                      Visitor&& visit) {
+  if (options.offset_hours.empty()) {
+    return Status::InvalidArgument("offset_hours must not be empty");
+  }
+  if (options.horizon_days < 1) {
+    return Status::InvalidArgument("horizon must be at least one day");
+  }
+
+  // Working days: weekdays minus per-zone holidays. Holiday choices are
+  // "randomly chosen, but they are the same for the tenants in the same
+  // time zone" (§7.1).
+  std::vector<int> weekdays;
+  for (int d = 0; d < options.horizon_days; ++d) {
+    bool weekend = options.weekends_off && (d % 7 == 5 || d % 7 == 6);
+    if (!weekend) weekdays.push_back(d);
+  }
+  if (weekdays.empty()) {
+    return Status::InvalidArgument("horizon has no working days");
+  }
+  std::map<int, std::set<int>> holidays_by_zone;
+  for (int zone : options.offset_hours) {
+    auto& holidays = holidays_by_zone[zone];
+    Rng zone_rng = rng->Fork(0x401dull + static_cast<uint64_t>(zone));
+    int wanted = std::min<int>(options.num_holidays,
+                               static_cast<int>(weekdays.size()));
+    while (static_cast<int>(holidays.size()) < wanted) {
+      holidays.insert(weekdays[zone_rng.NextBounded(weekdays.size())]);
+    }
+  }
+
+  const SimDuration session_len = 3 * kHour;
+  const SimDuration lunch = options.lunch_break ? 2 * kHour : 0;
+
+  for (auto& spec : *tenants) {
+    Rng tenant_rng = rng->Fork(0x7e4a47ull * 31 +
+                               static_cast<uint64_t>(spec.id) + 1);
+    spec.time_zone_offset_hours = options.offset_hours[tenant_rng.NextBounded(
+        options.offset_hours.size())];
+    const auto& holidays = holidays_by_zone[spec.time_zone_offset_hours];
+
+    for (int day : weekdays) {
+      if (holidays.count(day)) continue;
+      SimTime base = static_cast<SimTime>(day) * kDay +
+                     static_cast<SimTime>(spec.time_zone_offset_hours) * kHour;
+      // Morning office hours, afternoon office hours after lunch, and the
+      // evening report-generation window.
+      SimTime morning = base;
+      SimTime afternoon = morning + session_len + lunch;
+      SimTime evening = afternoon + session_len +
+                        static_cast<SimTime>(options.report_gap_hours) * kHour;
+      for (SimTime session_start : {morning, afternoon, evening}) {
+        THRIFTY_ASSIGN_OR_RETURN(
+            const TenantLog* session,
+            library.Sample(spec.requested_nodes, spec.suite, &tenant_rng));
+        visit(spec, session_start, *session);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<TenantLog>> LogComposer::Compose(
+    std::vector<TenantSpec>* tenants, Rng* rng) const {
+  const SimTime horizon = horizon_end();
+  std::vector<TenantLog> logs;
+  logs.reserve(tenants->size());
+  std::unordered_map<TenantId, size_t> log_index;
+  for (const auto& spec : *tenants) {
+    log_index[spec.id] = logs.size();
+    TenantLog log;
+    log.tenant_id = spec.id;
+    logs.push_back(std::move(log));
+  }
+  THRIFTY_RETURN_NOT_OK(ForEachSession(
+      *library_, options_, tenants, rng,
+      [&](const TenantSpec& spec, SimTime session_start,
+          const TenantLog& session) {
+        TenantLog& log = logs[log_index.at(spec.id)];
+        for (const auto& e : session.entries) {
+          SimTime submit = session_start + e.submit_time;
+          if (submit >= horizon) continue;
+          QueryLogEntry shifted = e;
+          shifted.submit_time = submit;
+          log.entries.push_back(shifted);
+        }
+      }));
+  for (auto& log : logs) log.SortEntries();
+  return logs;
+}
+
+Result<std::vector<IntervalSet>> LogComposer::ComposeActivity(
+    std::vector<TenantSpec>* tenants, Rng* rng) const {
+  const SimTime horizon = horizon_end();
+  // Session activity intervals are expensive to recompute (union over
+  // hundreds of entries); cache one normalized set per library log.
+  std::unordered_map<const TenantLog*, IntervalSet> session_activity;
+  std::vector<IntervalSet> activity(tenants->size());
+  std::unordered_map<TenantId, size_t> index;
+  for (size_t i = 0; i < tenants->size(); ++i) {
+    index[(*tenants)[i].id] = i;
+  }
+  THRIFTY_RETURN_NOT_OK(ForEachSession(
+      *library_, options_, tenants, rng,
+      [&](const TenantSpec& spec, SimTime session_start,
+          const TenantLog& session) {
+        auto [it, inserted] = session_activity.try_emplace(&session);
+        if (inserted) it->second = session.ActivityIntervals();
+        IntervalSet& out = activity[index.at(spec.id)];
+        for (const auto& iv : it->second.intervals()) {
+          SimTime begin = session_start + iv.begin;
+          if (begin >= horizon) break;
+          out.Add(begin, std::min(horizon, session_start + iv.end));
+        }
+      }));
+  return activity;
+}
+
+}  // namespace thrifty

@@ -1,0 +1,137 @@
+#include "workload/query_log.h"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace thrifty {
+
+IntervalSet TenantLog::ActivityIntervals() const {
+  IntervalSet set;
+  for (const auto& e : entries) {
+    set.Add(e.submit_time, e.submit_time + e.observed_latency);
+  }
+  return set;
+}
+
+double TenantLog::ActiveRatio(SimTime begin, SimTime end) const {
+  if (end <= begin) return 0;
+  IntervalSet clipped = ActivityIntervals().Clip(begin, end);
+  return static_cast<double>(clipped.TotalLength()) /
+         static_cast<double>(end - begin);
+}
+
+void TenantLog::SortEntries() {
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const QueryLogEntry& a, const QueryLogEntry& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+}
+
+Status WriteLogsCsv(const std::vector<TenantLog>& logs, std::ostream& os) {
+  os << "tenant_id,submit_ms,template_id,latency_ms,batch_id\n";
+  for (const auto& log : logs) {
+    for (const auto& e : log.entries) {
+      os << log.tenant_id << ',' << e.submit_time << ',' << e.template_id
+         << ',' << e.observed_latency << ',' << e.batch_id << '\n';
+    }
+  }
+  if (!os) return Status::Internal("stream write failure");
+  return Status::OK();
+}
+
+Result<std::vector<TenantLog>> ReadLogsCsv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::InvalidArgument("empty log file");
+  }
+  if (line.rfind("tenant_id,", 0) != 0) {
+    return Status::InvalidArgument("missing CSV header");
+  }
+  std::map<TenantId, TenantLog> by_tenant;
+  size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string field;
+    long long values[5];
+    for (int f = 0; f < 5; ++f) {
+      if (!std::getline(ss, field, f < 4 ? ',' : '\n')) {
+        return Status::InvalidArgument("malformed CSV at line " +
+                                       std::to_string(line_no));
+      }
+      try {
+        values[f] = std::stoll(field);
+      } catch (...) {
+        return Status::InvalidArgument("non-numeric field at line " +
+                                       std::to_string(line_no));
+      }
+    }
+    TenantId tid = static_cast<TenantId>(values[0]);
+    TenantLog& log = by_tenant[tid];
+    log.tenant_id = tid;
+    QueryLogEntry e;
+    e.submit_time = values[1];
+    e.template_id = static_cast<TemplateId>(values[2]);
+    e.observed_latency = values[3];
+    e.batch_id = static_cast<int32_t>(values[4]);
+    log.entries.push_back(e);
+  }
+  std::vector<TenantLog> out;
+  out.reserve(by_tenant.size());
+  for (auto& [tid, log] : by_tenant) {
+    log.SortEntries();
+    out.push_back(std::move(log));
+  }
+  return out;
+}
+
+double ConditionalActiveTenantRatio(const std::vector<TenantLog>& logs,
+                                    SimTime begin, SimTime end,
+                                    SimDuration epoch_size) {
+  if (logs.empty() || end <= begin || epoch_size <= 0) return 0;
+  size_t num_epochs =
+      static_cast<size_t>((end - begin + epoch_size - 1) / epoch_size);
+  std::vector<uint32_t> counts(num_epochs, 0);
+  for (const auto& log : logs) {
+    // Epochize this tenant's (disjoint, sorted) intervals, merging ranges
+    // that touch the same epoch so the tenant counts once per epoch.
+    size_t next_free_epoch = 0;
+    IntervalSet clipped = log.ActivityIntervals().Clip(begin, end);
+    for (const auto& iv : clipped.intervals()) {
+      size_t first = static_cast<size_t>((iv.begin - begin) / epoch_size);
+      size_t last = static_cast<size_t>((iv.end - 1 - begin) / epoch_size);
+      first = std::max(first, next_free_epoch);
+      for (size_t k = first; k <= last && k < num_epochs; ++k) ++counts[k];
+      next_free_epoch = std::max(next_free_epoch, last + 1);
+    }
+  }
+  uint64_t total = 0;
+  size_t busy = 0;
+  for (uint32_t c : counts) {
+    total += c;
+    busy += c > 0 ? 1 : 0;
+  }
+  if (busy == 0) return 0;
+  return static_cast<double>(total) /
+         (static_cast<double>(busy) * static_cast<double>(logs.size()));
+}
+
+double AverageActiveTenantRatio(const std::vector<TenantLog>& logs,
+                                SimTime begin, SimTime end) {
+  if (logs.empty() || end <= begin) return 0;
+  // Time-average of the active count == sum of per-tenant active durations.
+  double total_active = 0;
+  for (const auto& log : logs) {
+    total_active += static_cast<double>(
+        log.ActivityIntervals().Clip(begin, end).TotalLength());
+  }
+  return total_active /
+         (static_cast<double>(end - begin) * static_cast<double>(logs.size()));
+}
+
+}  // namespace thrifty

@@ -1,0 +1,154 @@
+#include "workload/session.h"
+
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+
+#include "mppdb/instance.h"
+#include "sim/engine.h"
+
+namespace thrifty {
+
+SessionSimulator::SessionSimulator(const QueryCatalog* catalog,
+                                   SessionOptions options)
+    : catalog_(catalog), options_(options) {
+  assert(catalog != nullptr);
+}
+
+namespace {
+
+// Mutable state shared by the user callbacks during one session run.
+struct SessionState {
+  SimEngine engine;
+  std::unique_ptr<MppdbInstance> instance;
+  TenantLog log;
+  // query id -> index into log.entries, to fill observed latency on finish.
+  std::unordered_map<QueryId, size_t> entry_index;
+  // query id -> submitting user, to resume that user's think/act loop.
+  std::unordered_map<QueryId, int> query_owner;
+  // per-user count of outstanding queries in the current action.
+  std::vector<int> outstanding;
+  QueryId next_query_id = 0;
+  int32_t next_batch_id = 0;
+};
+
+// One autonomous user of the §7.1 procedure.
+class UserDriver {
+ public:
+  UserDriver(SessionState* state, const QueryCatalog* catalog,
+             const SessionOptions* options, QuerySuite suite, Rng rng,
+             int user)
+      : state_(state),
+        catalog_(catalog),
+        options_(options),
+        suite_(suite),
+        rng_(rng),
+        user_(user) {}
+
+  // Submits a single query or a batch; completions drive OnQueryDone.
+  void TakeAction(SimTime now) {
+    if (now >= options_->duration) return;  // office hours are over
+    bool is_batch = rng_.NextBool(options_->batch_probability);
+    int m = is_batch
+                ? static_cast<int>(rng_.NextInt(options_->min_batch_queries,
+                                                options_->max_batch_queries))
+                : 1;
+    int32_t batch_id = is_batch ? state_->next_batch_id++ : -1;
+    state_->outstanding[static_cast<size_t>(user_)] = m;
+    for (int i = 0; i < m; ++i) {
+      TemplateId tid = catalog_->SampleFromSuite(suite_, &rng_);
+      QueryId qid = state_->next_query_id++;
+      QueryLogEntry entry;
+      entry.submit_time = now;
+      entry.template_id = tid;
+      entry.batch_id = batch_id;
+      state_->entry_index[qid] = state_->log.entries.size();
+      state_->query_owner[qid] = user_;
+      state_->log.entries.push_back(entry);
+      QuerySubmission submission;
+      submission.query_id = qid;
+      submission.tenant_id = 0;
+      submission.template_id = tid;
+      Status st = state_->instance->Submit(submission, catalog_->Get(tid));
+      assert(st.ok());
+      (void)st;
+    }
+  }
+
+  // Called when one of this user's queries completes.
+  void OnQueryDone(SimTime now) {
+    int& left = state_->outstanding[static_cast<size_t>(user_)];
+    if (--left > 0) return;  // batch not complete yet
+    SimDuration think = rng_.NextInt(options_->min_think_seconds,
+                                     options_->max_think_seconds) *
+                        kSecond;
+    state_->engine.ScheduleAt(now + think,
+                              [this](SimTime t) { TakeAction(t); });
+  }
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  SessionState* state_;
+  const QueryCatalog* catalog_;
+  const SessionOptions* options_;
+  QuerySuite suite_;
+  Rng rng_;
+  int user_;
+};
+
+}  // namespace
+
+TenantLog SessionSimulator::Run(int nodes, double data_gb, QuerySuite suite,
+                                int num_users, Rng* rng) const {
+  assert(nodes >= 1);
+  assert(num_users >= 1);
+
+  SessionState state;
+  state.instance = std::make_unique<MppdbInstance>(
+      /*id=*/0, nodes, &state.engine, InstanceState::kOnline);
+  state.instance->AddTenant(/*tenant=*/0, data_gb);
+  state.log.tenant_id = 0;
+
+  std::vector<std::unique_ptr<UserDriver>> users;
+  Rng participation_rng = rng->Fork(0);
+  for (int u = 0; u < num_users; ++u) {
+    // "At most S autonomous users": only a subset shows up per session.
+    if (u > 0 &&
+        !participation_rng.NextBool(options_.user_participation)) {
+      continue;
+    }
+    users.push_back(std::make_unique<UserDriver>(
+        &state, catalog_, &options_, suite,
+        rng->Fork(static_cast<uint64_t>(u) + 1),
+        static_cast<int>(users.size())));
+  }
+  state.outstanding.assign(users.size(), 0);
+
+  state.instance->set_completion_callback([&](const QueryCompletion& c) {
+    auto idx_it = state.entry_index.find(c.query_id);
+    assert(idx_it != state.entry_index.end());
+    state.log.entries[idx_it->second].observed_latency = c.MeasuredLatency();
+    auto owner_it = state.query_owner.find(c.query_id);
+    assert(owner_it != state.query_owner.end());
+    int owner = owner_it->second;
+    state.query_owner.erase(owner_it);
+    users[static_cast<size_t>(owner)]->OnQueryDone(c.finish_time);
+  });
+
+  // Users begin their first action staggered within the arrival window.
+  for (auto& user : users) {
+    UserDriver* u = user.get();
+    SimTime start = u->rng()->NextInt(0, options_.arrival_window);
+    state.engine.ScheduleAt(start, [u](SimTime t) { u->TakeAction(t); });
+  }
+
+  // Users stop issuing at the horizon, so the engine quiesces once the tail
+  // queries drain.
+  state.engine.Run();
+  assert(state.query_owner.empty());
+  state.log.SortEntries();
+  return std::move(state.log);
+}
+
+}  // namespace thrifty

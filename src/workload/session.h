@@ -1,0 +1,70 @@
+// §7.1 Step 1 — Real Query Log Collection.
+//
+// The paper imitates a tenant against a real MPPDB: the tenant has at most S
+// autonomous users (S uniform in [1,5]); each user either submits one random
+// suite query or a batch of M (uniform in [1,10]) queries, waits for them to
+// complete, pauses W seconds (W uniform in [3,600]), and repeats for 3 hours.
+// The MPPDB's query log is collected as a "3-hour real query log of an
+// artificial tenant".
+//
+// SessionSimulator reproduces this by running the user procedure against a
+// dedicated simulated MPPDB instance of the tenant's requested size, so the
+// observed latencies include genuine intra-tenant concurrency (batches and
+// multiple users processor-share the tenant's own instance, exactly as they
+// would on real hardware).
+
+#ifndef THRIFTY_WORKLOAD_SESSION_H_
+#define THRIFTY_WORKLOAD_SESSION_H_
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "mppdb/catalog.h"
+#include "workload/query_log.h"
+
+namespace thrifty {
+
+/// \brief Knobs of the §7.1 user procedure (defaults are the paper's).
+struct SessionOptions {
+  /// Session length (the paper's 3 hours).
+  SimDuration duration = 3 * kHour;
+  /// Probability a user action is a batch (vs a single query); the paper
+  /// draws (a) or (b) uniformly.
+  double batch_probability = 0.5;
+  /// Batch size M range (inclusive).
+  int min_batch_queries = 1;
+  int max_batch_queries = 10;
+  /// Think time W range (inclusive), seconds.
+  int min_think_seconds = 3;
+  int max_think_seconds = 600;
+  /// Users begin their first action uniformly within this window, imitating
+  /// staggered morning arrival.
+  SimDuration arrival_window = 5 * kMinute;
+  /// A tenant has *at most* S autonomous users (§7.1); each user beyond the
+  /// first participates in a given 3-hour session with this probability
+  /// (the first user always participates, so every session has activity).
+  double user_participation = 0.5;
+};
+
+/// \brief Simulates one 3-hour single-tenant session on a dedicated MPPDB.
+class SessionSimulator {
+ public:
+  explicit SessionSimulator(const QueryCatalog* catalog,
+                            SessionOptions options = SessionOptions());
+
+  /// \brief Runs the user procedure and returns the collected query log.
+  ///
+  /// Submit times are relative to the session start. Latencies are as
+  /// observed on the dedicated `nodes`-node instance holding `data_gb` GB.
+  ///
+  /// \param num_users the tenant's S (>= 1).
+  TenantLog Run(int nodes, double data_gb, QuerySuite suite, int num_users,
+                Rng* rng) const;
+
+ private:
+  const QueryCatalog* catalog_;
+  SessionOptions options_;
+};
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_WORKLOAD_SESSION_H_

@@ -1,0 +1,100 @@
+#include "workload/statistics.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "common/table_printer.h"
+
+namespace thrifty {
+
+Result<TenantWorkloadSummary> SummarizeTenantLog(const TenantLog& log,
+                                                 SimTime begin, SimTime end) {
+  if (end <= begin) return Status::InvalidArgument("empty window");
+  TenantWorkloadSummary summary;
+  summary.tenant_id = log.tenant_id;
+  std::set<int32_t> batches;
+  size_t batched_queries = 0;
+  for (const auto& e : log.entries) {
+    if (e.submit_time < begin || e.submit_time >= end) continue;
+    ++summary.queries;
+    summary.latency_seconds.Add(DurationToSeconds(e.observed_latency));
+    if (e.batch_id >= 0) {
+      ++batched_queries;
+      batches.insert(e.batch_id);
+    }
+  }
+  summary.batches = batches.size();
+  summary.batch_query_fraction =
+      summary.queries == 0
+          ? 0
+          : static_cast<double>(batched_queries) /
+                static_cast<double>(summary.queries);
+
+  IntervalSet activity = log.ActivityIntervals().Clip(begin, end);
+  summary.active_ratio = static_cast<double>(activity.TotalLength()) /
+                         static_cast<double>(end - begin);
+  for (const auto& iv : activity.intervals()) {
+    summary.longest_active_stretch_seconds =
+        std::max(summary.longest_active_stretch_seconds,
+                 DurationToSeconds(iv.length()));
+  }
+  double active_hours =
+      DurationToSeconds(activity.TotalLength()) / 3600.0;
+  summary.queries_per_active_hour =
+      active_hours > 0 ? static_cast<double>(summary.queries) / active_hours
+                       : 0;
+  return summary;
+}
+
+Result<WorkloadSummary> SummarizeWorkload(
+    const std::vector<TenantLog>& logs, SimTime begin, SimTime end,
+    const std::vector<TenantSpec>* specs) {
+  WorkloadSummary summary;
+  std::unordered_map<TenantId, int> size_by_tenant;
+  if (specs != nullptr) {
+    for (const auto& spec : *specs) {
+      size_by_tenant[spec.id] = spec.requested_nodes;
+    }
+  }
+  for (const auto& log : logs) {
+    THRIFTY_ASSIGN_OR_RETURN(TenantWorkloadSummary tenant,
+                             SummarizeTenantLog(log, begin, end));
+    summary.latency_seconds.Merge(tenant.latency_seconds);
+    summary.tenant_active_ratio.Add(tenant.active_ratio);
+    summary.total_queries += tenant.queries;
+    if (specs != nullptr) {
+      auto it = size_by_tenant.find(log.tenant_id);
+      if (it == size_by_tenant.end()) {
+        return Status::InvalidArgument(
+            "no spec for tenant " + std::to_string(log.tenant_id));
+      }
+      summary.active_ratio_by_size[it->second].Add(tenant.active_ratio);
+    }
+    summary.tenants.push_back(std::move(tenant));
+  }
+  return summary;
+}
+
+void PrintWorkloadSummary(const WorkloadSummary& summary, std::ostream& os) {
+  os << "Workload: " << summary.tenants.size() << " tenants, "
+     << summary.total_queries << " queries; mean latency "
+     << FormatDouble(summary.latency_seconds.Mean(), 1) << "s (max "
+     << FormatDouble(summary.latency_seconds.max(), 1)
+     << "s); mean tenant active ratio "
+     << FormatPercent(summary.tenant_active_ratio.Mean(), 1) << "\n";
+  if (!summary.active_ratio_by_size.empty()) {
+    TablePrinter table({"parallelism", "tenants", "mean active ratio",
+                        "max active ratio"});
+    for (const auto& [nodes, stats] : summary.active_ratio_by_size) {
+      table.AddRow({std::to_string(nodes) + "-node",
+                    std::to_string(stats.count()),
+                    FormatPercent(stats.Mean(), 1),
+                    FormatPercent(stats.max(), 1)});
+    }
+    table.Print(os);
+  }
+}
+
+}  // namespace thrifty

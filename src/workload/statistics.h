@@ -1,0 +1,60 @@
+// Workload statistics (Fig 3.1a: the Tenant Activity Monitor "summarizes
+// the query characteristics of individual tenants" for the Deployment
+// Advisor and for administrator tuning).
+
+#ifndef THRIFTY_WORKLOAD_STATISTICS_H_
+#define THRIFTY_WORKLOAD_STATISTICS_H_
+
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "workload/query_log.h"
+#include "workload/tenant.h"
+
+namespace thrifty {
+
+/// \brief Query characteristics of one tenant over a history window.
+struct TenantWorkloadSummary {
+  TenantId tenant_id = kInvalidTenantId;
+  size_t queries = 0;
+  size_t batches = 0;          // distinct report-generation batches
+  double batch_query_fraction = 0;  // queries submitted as part of a batch
+  RunningStats latency_seconds;
+  double active_ratio = 0;     // fraction of the window with queries running
+  /// Longest continuous active stretch (seconds).
+  double longest_active_stretch_seconds = 0;
+  /// Queries per active hour (intensity while working).
+  double queries_per_active_hour = 0;
+};
+
+/// \brief Service-wide aggregation.
+struct WorkloadSummary {
+  std::vector<TenantWorkloadSummary> tenants;
+  RunningStats latency_seconds;      // across all queries
+  RunningStats tenant_active_ratio;  // across tenants
+  size_t total_queries = 0;
+
+  /// \brief Per requested-node-count aggregates (needs specs; see
+  /// SummarizeWorkload overload).
+  std::map<int, RunningStats> active_ratio_by_size;
+};
+
+/// \brief Summarizes one tenant's log over [begin, end).
+Result<TenantWorkloadSummary> SummarizeTenantLog(const TenantLog& log,
+                                                 SimTime begin, SimTime end);
+
+/// \brief Summarizes all logs; when `specs` is non-null, also aggregates by
+/// requested node count (matched by tenant id).
+Result<WorkloadSummary> SummarizeWorkload(
+    const std::vector<TenantLog>& logs, SimTime begin, SimTime end,
+    const std::vector<TenantSpec>* specs = nullptr);
+
+/// \brief Renders a service-wide summary table.
+void PrintWorkloadSummary(const WorkloadSummary& summary, std::ostream& os);
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_WORKLOAD_STATISTICS_H_

@@ -1,0 +1,11 @@
+#include "workload/tenant.h"
+
+namespace thrifty {
+
+int64_t TotalRequestedNodes(const std::vector<TenantSpec>& tenants) {
+  int64_t total = 0;
+  for (const auto& t : tenants) total += t.requested_nodes;
+  return total;
+}
+
+}  // namespace thrifty

@@ -1,0 +1,44 @@
+// Tenant descriptors.
+
+#ifndef THRIFTY_WORKLOAD_TENANT_H_
+#define THRIFTY_WORKLOAD_TENANT_H_
+
+#include <string>
+#include <vector>
+
+#include "mppdb/catalog.h"
+#include "mppdb/instance.h"
+
+namespace thrifty {
+
+/// \brief Data volume per requested node (GB); §7.1 Step 1 gives every node
+/// a 100 GB partition.
+inline constexpr double kDataGbPerNode = 100.0;
+
+/// \brief A service tenant: a company renting an n-node MPPDB.
+struct TenantSpec {
+  TenantId id = kInvalidTenantId;
+
+  /// Degree of parallelism the tenant pays for (the n_i of §4.1).
+  int requested_nodes = 0;
+
+  /// Total data volume (GB); defaults to 100 GB per requested node.
+  double data_gb = 0;
+
+  /// Which benchmark suite the tenant's schema/workload resembles.
+  QuerySuite suite = QuerySuite::kTpch;
+
+  /// Office-hour start offset (hours) imitating the tenant's time zone
+  /// (§7.1 Step 2: Seattle +0, New York +3, ..., Sydney +19).
+  int time_zone_offset_hours = 0;
+
+  /// Maximum number of autonomous users (S in §7.1, uniform in [1, 5]).
+  int max_users = 1;
+};
+
+/// \brief Total nodes requested by a set of tenants (N = sum n_i).
+int64_t TotalRequestedNodes(const std::vector<TenantSpec>& tenants);
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_WORKLOAD_TENANT_H_

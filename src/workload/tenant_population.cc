@@ -1,0 +1,45 @@
+#include "workload/tenant_population.h"
+
+#include <algorithm>
+
+#include "common/distributions.h"
+
+namespace thrifty {
+
+Result<std::vector<TenantSpec>> GenerateTenantPopulation(
+    int count, const PopulationOptions& options, Rng* rng) {
+  if (count < 0) return Status::InvalidArgument("negative tenant count");
+  if (options.node_sizes.empty()) {
+    return Status::InvalidArgument("node_sizes must not be empty");
+  }
+  if (options.min_users < 1 || options.max_users < options.min_users) {
+    return Status::InvalidArgument("invalid user range");
+  }
+  std::vector<int> sizes = options.node_sizes;
+  std::sort(sizes.begin(), sizes.end());
+  ZipfDistribution size_dist(sizes.size(), options.zipf_theta);
+
+  std::vector<TenantSpec> tenants;
+  tenants.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    TenantSpec spec;
+    spec.id = static_cast<TenantId>(i);
+    spec.requested_nodes = sizes[size_dist.Sample(rng)];
+    spec.data_gb = options.data_gb_per_node * spec.requested_nodes;
+    spec.suite = rng->NextBool(options.tpch_probability) ? QuerySuite::kTpch
+                                                         : QuerySuite::kTpcds;
+    spec.max_users =
+        static_cast<int>(rng->NextInt(options.min_users, options.max_users));
+    tenants.push_back(spec);
+  }
+  return tenants;
+}
+
+std::map<int, int> TenantSizeHistogram(
+    const std::vector<TenantSpec>& tenants) {
+  std::map<int, int> histogram;
+  for (const auto& t : tenants) ++histogram[t.requested_nodes];
+  return histogram;
+}
+
+}  // namespace thrifty

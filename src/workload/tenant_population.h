@@ -1,0 +1,44 @@
+// Tenant population generation (§7.1 Step 2 inputs).
+//
+// Tenant sizes are drawn from a Zipf(theta) distribution over the allowed
+// node counts — smaller tenants are more common, and a larger theta skews
+// harder toward small tenants (the paper's default theta is 0.8, citing
+// Gray et al.'s observation that database sizes across companies are skewed).
+
+#ifndef THRIFTY_WORKLOAD_TENANT_POPULATION_H_
+#define THRIFTY_WORKLOAD_TENANT_POPULATION_H_
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "workload/tenant.h"
+
+namespace thrifty {
+
+/// \brief Knobs for tenant population generation.
+struct PopulationOptions {
+  /// MPPDB sizes tenants may request; the evaluation prepared 2/4/8/16/32.
+  std::vector<int> node_sizes = {2, 4, 8, 16, 32};
+  /// Zipf skew of the size distribution (rank 0 = smallest size).
+  double zipf_theta = 0.8;
+  /// Probability a tenant holds TPC-H (vs TPC-DS) data.
+  double tpch_probability = 0.5;
+  /// Data volume per requested node.
+  double data_gb_per_node = kDataGbPerNode;
+  /// Range of S, the tenant's maximum number of autonomous users.
+  int min_users = 1;
+  int max_users = 5;
+};
+
+/// \brief Generates `count` tenant specs with ids 0..count-1.
+Result<std::vector<TenantSpec>> GenerateTenantPopulation(
+    int count, const PopulationOptions& options, Rng* rng);
+
+/// \brief Number of tenants per requested node count (the Fig 5.2 view).
+std::map<int, int> TenantSizeHistogram(const std::vector<TenantSpec>& tenants);
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_WORKLOAD_TENANT_POPULATION_H_

@@ -1,0 +1,104 @@
+#include "activity/activity_monitor.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+TEST(TrackerTest, ActiveWhileQueriesRun) {
+  TenantActivityTracker tracker;
+  EXPECT_FALSE(tracker.IsActive(1));
+  tracker.OnQueryStart(1, 100);
+  EXPECT_TRUE(tracker.IsActive(1));
+  EXPECT_EQ(tracker.RunningQueries(1), 1);
+  tracker.OnQueryStart(1, 150);
+  EXPECT_EQ(tracker.RunningQueries(1), 2);
+  ASSERT_TRUE(tracker.OnQueryFinish(1, 200).ok());
+  EXPECT_TRUE(tracker.IsActive(1));  // one query still running
+  ASSERT_TRUE(tracker.OnQueryFinish(1, 300).ok());
+  EXPECT_FALSE(tracker.IsActive(1));
+}
+
+TEST(TrackerTest, FinishWithoutStartFails) {
+  TenantActivityTracker tracker;
+  EXPECT_EQ(tracker.OnQueryFinish(1, 10).code(),
+            StatusCode::kFailedPrecondition);
+  tracker.OnQueryStart(1, 10);
+  ASSERT_TRUE(tracker.OnQueryFinish(1, 20).ok());
+  EXPECT_EQ(tracker.OnQueryFinish(1, 30).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TrackerTest, TransitionsFireOnBoundaryOnly) {
+  TenantActivityTracker tracker;
+  std::vector<std::pair<bool, SimTime>> transitions;
+  tracker.set_transition_callback(
+      [&](TenantId tenant, bool active, SimTime now) {
+        EXPECT_EQ(tenant, 7);
+        transitions.push_back({active, now});
+      });
+  tracker.OnQueryStart(7, 100);
+  tracker.OnQueryStart(7, 110);  // no transition: already active
+  ASSERT_TRUE(tracker.OnQueryFinish(7, 120).ok());
+  ASSERT_TRUE(tracker.OnQueryFinish(7, 130).ok());
+  tracker.OnQueryStart(7, 200);
+  ASSERT_TRUE(tracker.OnQueryFinish(7, 210).ok());
+  ASSERT_EQ(transitions.size(), 4u);
+  EXPECT_EQ(transitions[0], (std::pair<bool, SimTime>{true, 100}));
+  EXPECT_EQ(transitions[1], (std::pair<bool, SimTime>{false, 130}));
+  EXPECT_EQ(transitions[2], (std::pair<bool, SimTime>{true, 200}));
+  EXPECT_EQ(transitions[3], (std::pair<bool, SimTime>{false, 210}));
+}
+
+TEST(TrackerTest, HistoryRecordsClosedIntervals) {
+  TenantActivityTracker tracker;
+  tracker.OnQueryStart(1, 100);
+  ASSERT_TRUE(tracker.OnQueryFinish(1, 200).ok());
+  tracker.OnQueryStart(1, 300);
+  ASSERT_TRUE(tracker.OnQueryFinish(1, 350).ok());
+  IntervalSet history = tracker.ActivityHistory(1, 0, 1000);
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history.intervals()[0], (TimeInterval{100, 200}));
+  EXPECT_EQ(history.intervals()[1], (TimeInterval{300, 350}));
+  EXPECT_DOUBLE_EQ(tracker.ActiveRatio(1, 0, 1000), 0.15);
+}
+
+TEST(TrackerTest, OpenIntervalClosedAtWindowEnd) {
+  TenantActivityTracker tracker;
+  tracker.OnQueryStart(1, 100);
+  IntervalSet history = tracker.ActivityHistory(1, 0, 500);
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_EQ(history.intervals()[0], (TimeInterval{100, 500}));
+}
+
+TEST(TrackerTest, UnknownTenantHasEmptyHistory) {
+  TenantActivityTracker tracker;
+  EXPECT_TRUE(tracker.ActivityHistory(42, 0, 100).empty());
+  EXPECT_EQ(tracker.ActiveRatio(42, 0, 100), 0);
+  EXPECT_EQ(tracker.RunningQueries(42), 0);
+}
+
+TEST(TrackerTest, HistoryClipsToWindow) {
+  TenantActivityTracker tracker;
+  tracker.OnQueryStart(1, 100);
+  ASSERT_TRUE(tracker.OnQueryFinish(1, 400).ok());
+  IntervalSet history = tracker.ActivityHistory(1, 200, 300);
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_EQ(history.intervals()[0], (TimeInterval{200, 300}));
+}
+
+TEST(TrackerTest, RetentionPrunesOldHistory) {
+  TenantActivityTracker tracker(/*history_retention=*/1000);
+  tracker.OnQueryStart(1, 0);
+  ASSERT_TRUE(tracker.OnQueryFinish(1, 10).ok());
+  // Far in the future: pruning occurs on the transition to inactive.
+  tracker.OnQueryStart(1, 5000);
+  ASSERT_TRUE(tracker.OnQueryFinish(1, 5010).ok());
+  IntervalSet history = tracker.ActivityHistory(1, 0, 6000);
+  EXPECT_EQ(history.size(), 1u);  // the [0,10) interval was pruned
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,80 @@
+#include "mppdb/catalog.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+TEST(CatalogTest, DefaultHasBothSuites) {
+  QueryCatalog catalog = QueryCatalog::Default();
+  EXPECT_EQ(catalog.SuiteTemplates(QuerySuite::kTpch).size(), 22u);
+  EXPECT_EQ(catalog.SuiteTemplates(QuerySuite::kTpcds).size(), 24u);
+  EXPECT_EQ(catalog.size(), 46u);
+}
+
+TEST(CatalogTest, IdsMatchPositions) {
+  QueryCatalog catalog = QueryCatalog::Default();
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(catalog.Get(static_cast<TemplateId>(i)).id,
+              static_cast<TemplateId>(i));
+  }
+}
+
+TEST(CatalogTest, FindByName) {
+  QueryCatalog catalog = QueryCatalog::Default();
+  auto q1 = catalog.FindByName("TPCH-Q1");
+  ASSERT_TRUE(q1.ok());
+  EXPECT_EQ(catalog.Get(*q1).name, "TPCH-Q1");
+  EXPECT_EQ(catalog.FindByName("NOPE").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DeterministicAcrossConstructions) {
+  QueryCatalog a = QueryCatalog::Default();
+  QueryCatalog b = QueryCatalog::Default();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    TemplateId id = static_cast<TemplateId>(i);
+    EXPECT_EQ(a.Get(id).name, b.Get(id).name);
+    EXPECT_EQ(a.Get(id).work_seconds_per_gb, b.Get(id).work_seconds_per_gb);
+    EXPECT_EQ(a.Get(id).serial_fraction, b.Get(id).serial_fraction);
+  }
+}
+
+TEST(CatalogTest, Q1LinearQ19NonLinear) {
+  QueryCatalog catalog = QueryCatalog::Default();
+  const QueryTemplate& q1 = catalog.Get(*catalog.FindByName("TPCH-Q1"));
+  const QueryTemplate& q19 = catalog.Get(*catalog.FindByName("TPCH-Q19"));
+  EXPECT_TRUE(IsLinearScaleOut(q1, 8));
+  EXPECT_FALSE(IsLinearScaleOut(q19, 8));
+}
+
+TEST(CatalogTest, AllTemplatesHaveSaneCosts) {
+  QueryCatalog catalog = QueryCatalog::Default();
+  for (const auto& t : catalog.templates()) {
+    EXPECT_GT(t.work_seconds_per_gb, 0) << t.name;
+    EXPECT_GE(t.serial_fraction, 0) << t.name;
+    EXPECT_LT(t.serial_fraction, 1) << t.name;
+  }
+}
+
+TEST(CatalogTest, SampleFromSuiteCoversSuite) {
+  QueryCatalog catalog = QueryCatalog::Default();
+  Rng rng(7);
+  std::set<TemplateId> seen;
+  for (int i = 0; i < 2000; ++i) {
+    TemplateId id = catalog.SampleFromSuite(QuerySuite::kTpch, &rng);
+    EXPECT_EQ(catalog.Get(id).name.rfind("TPCH", 0), 0u);
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 22u);  // uniform sampling hits all 22
+}
+
+TEST(CatalogTest, SuiteNames) {
+  EXPECT_STREQ(QuerySuiteToString(QuerySuite::kTpch), "TPCH");
+  EXPECT_STREQ(QuerySuiteToString(QuerySuite::kTpcds), "TPCDS");
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,69 @@
+#include "placement/cluster_design.h"
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+TEST(ClusterDesignTest, Fig41ToyExample) {
+  // The paper's toy example (§4.1): 10 tenants requesting
+  // 6,6,5,5,5,4,4,3,2,2 nodes (N = 42), A = 3 -> three 6-node MPPDBs,
+  // 18 nodes total.
+  auto design = DesignGroupCluster(/*largest_tenant_nodes=*/6,
+                                   /*total_requested_nodes=*/42,
+                                   /*num_mppdbs=*/3);
+  ASSERT_TRUE(design.ok());
+  EXPECT_EQ(design->NumMppdbs(), 3);
+  EXPECT_EQ(design->TotalNodes(), 18);
+  EXPECT_EQ(design->mppdb_nodes, (std::vector<int>{6, 6, 6}));
+  EXPECT_EQ(design->tuning_nodes(), 6);
+}
+
+TEST(ClusterDesignTest, DefaultTuningSizeIsLargestTenant) {
+  auto design = DesignGroupCluster(4, 20, 2);
+  ASSERT_TRUE(design.ok());
+  EXPECT_EQ(design->tuning_nodes(), 4);
+}
+
+TEST(ClusterDesignTest, CustomTuningSizeWithinBounds) {
+  // N = 42, A = 3, n_1 = 6: U may go up to 42 - 2*6 = 30.
+  auto design = DesignGroupCluster(6, 42, 3, /*tuning_nodes_u=*/12);
+  ASSERT_TRUE(design.ok());
+  EXPECT_EQ(design->mppdb_nodes, (std::vector<int>{12, 6, 6}));
+  EXPECT_EQ(design->TotalNodes(), 24);
+}
+
+TEST(ClusterDesignTest, TuningSizeBelowLargestRejected) {
+  auto result = DesignGroupCluster(6, 42, 3, 5);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterDesignTest, TuningSizeAboveUpperBoundRejected) {
+  auto result = DesignGroupCluster(6, 42, 3, 31);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(DesignGroupCluster(6, 42, 3, 30).ok());
+}
+
+TEST(ClusterDesignTest, SingleTenantGroup) {
+  // N == n_1: U = n_1 is the only valid choice.
+  auto design = DesignGroupCluster(8, 8, 3);
+  ASSERT_TRUE(design.ok());
+  EXPECT_EQ(design->TotalNodes(), 24);
+  EXPECT_EQ(DesignGroupCluster(8, 8, 3, 9).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterDesignTest, SingleMppdbGroup) {
+  auto design = DesignGroupCluster(4, 12, 1);
+  ASSERT_TRUE(design.ok());
+  EXPECT_EQ(design->NumMppdbs(), 1);
+  EXPECT_EQ(design->TotalNodes(), 4);
+}
+
+TEST(ClusterDesignTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(DesignGroupCluster(0, 10, 3).ok());
+  EXPECT_FALSE(DesignGroupCluster(4, 10, 0).ok());
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,144 @@
+#include "mppdb/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  SimEngine engine_;
+};
+
+TEST_F(ClusterTest, NodeAccounting) {
+  Cluster cluster(10, &engine_);
+  EXPECT_EQ(cluster.total_nodes(), 10);
+  EXPECT_EQ(cluster.nodes_in_use(), 0);
+  EXPECT_EQ(cluster.nodes_hibernated(), 10);
+  auto a = cluster.CreateInstanceOnline(4);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(cluster.nodes_in_use(), 4);
+  auto b = cluster.CreateInstanceOnline(6);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(cluster.nodes_hibernated(), 0);
+}
+
+TEST_F(ClusterTest, RejectsOverAllocation) {
+  Cluster cluster(5, &engine_);
+  ASSERT_TRUE(cluster.CreateInstanceOnline(4).ok());
+  EXPECT_EQ(cluster.CreateInstanceOnline(2).status().code(),
+            StatusCode::kCapacityExceeded);
+  EXPECT_EQ(cluster.CreateInstanceOnline(0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ClusterTest, OnlineInstanceIsImmediatelyUsable) {
+  Cluster cluster(4, &engine_);
+  auto result = cluster.CreateInstanceOnline(4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->state(), InstanceState::kOnline);
+  EXPECT_EQ((*result)->nodes(), 4);
+}
+
+TEST_F(ClusterTest, AsyncProvisioningFollowsTable51Timing) {
+  Cluster cluster(4, &engine_);
+  MppdbInstance* ready_instance = nullptr;
+  SimTime ready_at = -1;
+  auto result = cluster.CreateInstanceAsync(
+      4, {{1, 100.0}, {2, 50.0}}, [&](MppdbInstance* instance) {
+        ready_instance = instance;
+        ready_at = engine_.now();
+      });
+  ASSERT_TRUE(result.ok());
+  MppdbInstance* instance = *result;
+  EXPECT_EQ(instance->state(), InstanceState::kProvisioning);
+  EXPECT_EQ(cluster.nodes_in_use(), 4);  // nodes committed up front
+
+  const ProvisioningModel& model = cluster.provisioning();
+  SimDuration start = model.NodeStartTime(4);
+  SimDuration load = model.BulkLoadTime(150.0);
+
+  engine_.RunUntil(start);
+  EXPECT_EQ(instance->state(), InstanceState::kLoading);
+  engine_.Run();
+  EXPECT_EQ(instance->state(), InstanceState::kOnline);
+  EXPECT_EQ(ready_instance, instance);
+  EXPECT_EQ(ready_at, start + load);
+  EXPECT_TRUE(instance->HostsTenant(1));
+  EXPECT_TRUE(instance->HostsTenant(2));
+  EXPECT_DOUBLE_EQ(instance->TotalDataGb(), 150.0);
+}
+
+TEST_F(ClusterTest, DecommissionReturnsNodes) {
+  Cluster cluster(8, &engine_);
+  auto result = cluster.CreateInstanceOnline(8);
+  ASSERT_TRUE(result.ok());
+  InstanceId id = (*result)->id();
+  ASSERT_TRUE(cluster.DecommissionInstance(id).ok());
+  EXPECT_EQ(cluster.nodes_in_use(), 0);
+  EXPECT_EQ(cluster.GetInstance(id).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(cluster.LiveInstances().empty());
+}
+
+TEST_F(ClusterTest, DecommissionBlockedWhileBusy) {
+  Cluster cluster(4, &engine_);
+  auto result = cluster.CreateInstanceOnline(4);
+  ASSERT_TRUE(result.ok());
+  MppdbInstance* instance = *result;
+  instance->AddTenant(1, 100);
+  QueryTemplate t;
+  t.id = 0;
+  t.work_seconds_per_gb = 1.0;
+  QuerySubmission s;
+  s.query_id = 1;
+  s.tenant_id = 1;
+  ASSERT_TRUE(instance->Submit(s, t).ok());
+  EXPECT_EQ(cluster.DecommissionInstance(instance->id()).code(),
+            StatusCode::kFailedPrecondition);
+  engine_.Run();
+  EXPECT_TRUE(cluster.DecommissionInstance(instance->id()).ok());
+}
+
+TEST_F(ClusterTest, NodeFailureAutoReplacement) {
+  Cluster cluster(4, &engine_);
+  auto result = cluster.CreateInstanceOnline(4);
+  ASSERT_TRUE(result.ok());
+  MppdbInstance* instance = *result;
+  ASSERT_TRUE(cluster.InjectNodeFailure(instance->id()).ok());
+  EXPECT_EQ(instance->failed_nodes(), 1);
+  EXPECT_EQ(cluster.failures_injected(), 1);
+  // Replacement arrives after one single-node start time.
+  engine_.RunUntil(cluster.provisioning().NodeStartTime(1) - 1);
+  EXPECT_EQ(instance->failed_nodes(), 1);
+  engine_.Run();
+  EXPECT_EQ(instance->failed_nodes(), 0);
+}
+
+TEST_F(ClusterTest, GetInstanceUnknownId) {
+  Cluster cluster(4, &engine_);
+  EXPECT_EQ(cluster.GetInstance(0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cluster.GetInstance(-1).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ClusterTest, DefaultCompletionCallbackInstalledOnNewInstances) {
+  Cluster cluster(8, &engine_);
+  int completions = 0;
+  cluster.set_default_completion_callback(
+      [&](const QueryCompletion&) { ++completions; });
+  auto result = cluster.CreateInstanceOnline(4);
+  ASSERT_TRUE(result.ok());
+  MppdbInstance* instance = *result;
+  instance->AddTenant(1, 10);
+  QueryTemplate t;
+  t.id = 0;
+  t.work_seconds_per_gb = 1.0;
+  QuerySubmission s;
+  s.query_id = 1;
+  s.tenant_id = 1;
+  ASSERT_TRUE(instance->Submit(s, t).ok());
+  engine_.Run();
+  EXPECT_EQ(completions, 1);
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,76 @@
+#include "core/tenant_activity_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+TEST(CoreMonitorTest, GroupRegistrationAndCounts) {
+  TenantActivityMonitor monitor(/*replication_factor=*/2);
+  ASSERT_TRUE(monitor.RegisterGroup(0, {1, 2, 3}).ok());
+  ASSERT_TRUE(monitor.RegisterGroup(1, {4, 5}).ok());
+  EXPECT_EQ(monitor.RegisterGroup(0, {9}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(monitor.RegisterGroup(2, {1}).code(), StatusCode::kAlreadyExists);
+
+  monitor.OnQueryStart(1, 100);
+  monitor.OnQueryStart(2, 150);
+  monitor.OnQueryStart(4, 200);
+  EXPECT_EQ(*monitor.ActiveTenantsInGroup(0), 2);
+  EXPECT_EQ(*monitor.ActiveTenantsInGroup(1), 1);
+  ASSERT_TRUE(monitor.OnQueryFinish(1, 300).ok());
+  EXPECT_EQ(*monitor.ActiveTenantsInGroup(0), 1);
+  EXPECT_FALSE(monitor.ActiveTenantsInGroup(7).ok());
+}
+
+TEST(CoreMonitorTest, RtTtpFollowsGroupCounts) {
+  TenantActivityMonitor monitor(/*replication_factor=*/1,
+                                /*window=*/10 * kHour);
+  ASSERT_TRUE(monitor.RegisterGroup(0, {1, 2}).ok());
+  auto rt = monitor.GroupMonitor(0);
+  ASSERT_TRUE(rt.ok());
+  // Both tenants active for one hour -> count 2 > R=1 for 1 of 10 hours.
+  monitor.OnQueryStart(1, 0);
+  monitor.OnQueryStart(2, 0);
+  ASSERT_TRUE(monitor.OnQueryFinish(1, 1 * kHour).ok());
+  ASSERT_TRUE(monitor.OnQueryFinish(2, 1 * kHour).ok());
+  EXPECT_NEAR((*rt)->RtTtp(10 * kHour), 0.9, 1e-9);
+}
+
+TEST(CoreMonitorTest, ExcludedTenantsDropOutOfCounts) {
+  TenantActivityMonitor monitor(/*replication_factor=*/1,
+                                /*window=*/10 * kHour);
+  ASSERT_TRUE(monitor.RegisterGroup(0, {1, 2}).ok());
+  monitor.OnQueryStart(1, 0);
+  monitor.OnQueryStart(2, 0);
+  EXPECT_EQ(*monitor.ActiveTenantsInGroup(0), 2);
+  // Excluding an active tenant adjusts the live count immediately.
+  ASSERT_TRUE(monitor.ExcludeTenants(0, {2}, 100).ok());
+  EXPECT_EQ(*monitor.ActiveTenantsInGroup(0), 1);
+  // Later transitions of the excluded tenant are ignored.
+  ASSERT_TRUE(monitor.OnQueryFinish(2, 200).ok());
+  monitor.OnQueryStart(2, 300);
+  EXPECT_EQ(*monitor.ActiveTenantsInGroup(0), 1);
+  ASSERT_TRUE(monitor.OnQueryFinish(1, 400).ok());
+  EXPECT_EQ(*monitor.ActiveTenantsInGroup(0), 0);
+}
+
+TEST(CoreMonitorTest, ExcludeValidation) {
+  TenantActivityMonitor monitor(2);
+  ASSERT_TRUE(monitor.RegisterGroup(0, {1}).ok());
+  EXPECT_EQ(monitor.ExcludeTenants(9, {1}, 0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(monitor.ExcludeTenants(0, {5}, 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CoreMonitorTest, UnregisteredTenantsTrackedButUncounted) {
+  TenantActivityMonitor monitor(2);
+  ASSERT_TRUE(monitor.RegisterGroup(0, {1}).ok());
+  // Tenant 99 belongs to no group (e.g. excluded from consolidation).
+  monitor.OnQueryStart(99, 10);
+  EXPECT_TRUE(monitor.tracker()->IsActive(99));
+  EXPECT_EQ(*monitor.ActiveTenantsInGroup(0), 0);
+  ASSERT_TRUE(monitor.OnQueryFinish(99, 20).ok());
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,114 @@
+#include "placement/deployment_plan.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+std::vector<TenantSpec> Fig41Tenants() {
+  // The paper's toy example: 10 tenants requesting 6,6,5,5,5,4,4,3,2,2.
+  const int sizes[] = {6, 6, 5, 5, 5, 4, 4, 3, 2, 2};
+  std::vector<TenantSpec> tenants;
+  for (int i = 0; i < 10; ++i) {
+    TenantSpec spec;
+    spec.id = i + 1;
+    spec.requested_nodes = sizes[i];
+    spec.data_gb = 100.0 * sizes[i];
+    tenants.push_back(spec);
+  }
+  return tenants;
+}
+
+GroupingSolution OneGroupSolution() {
+  GroupingSolution solution;
+  TenantGroupResult group;
+  for (TenantId id = 1; id <= 10; ++id) group.tenant_ids.push_back(id);
+  group.max_nodes = 6;
+  group.ttp = 1.0;
+  group.max_active = 2;
+  solution.groups.push_back(group);
+  return solution;
+}
+
+TEST(DeploymentPlanTest, Fig41PlanUses18Nodes) {
+  auto plan = BuildDeploymentPlan(Fig41Tenants(), OneGroupSolution(), 3,
+                                  0.999);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->groups.size(), 1u);
+  EXPECT_EQ(plan->TotalNodesRequested(), 42);
+  EXPECT_EQ(plan->TotalNodesUsed(), 18);
+  EXPECT_NEAR(plan->ConsolidationEffectiveness(), 1.0 - 18.0 / 42, 1e-12);
+  EXPECT_EQ(plan->groups[0].cluster.mppdb_nodes,
+            (std::vector<int>{6, 6, 6}));
+  EXPECT_EQ(plan->groups[0].LargestTenantNodes(), 6);
+  EXPECT_EQ(plan->groups[0].RequestedNodes(), 42);
+}
+
+TEST(DeploymentPlanTest, GroupOfFindsTenants) {
+  auto plan = BuildDeploymentPlan(Fig41Tenants(), OneGroupSolution(), 3,
+                                  0.999);
+  ASSERT_TRUE(plan.ok());
+  auto group = plan->GroupOf(7);
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ(*group, 0);
+  EXPECT_EQ(plan->GroupOf(77).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DeploymentPlanTest, MultipleGroups) {
+  GroupingSolution solution;
+  TenantGroupResult g1, g2;
+  g1.tenant_ids = {1, 2};  // max 6 nodes
+  g1.max_nodes = 6;
+  g2.tenant_ids = {9, 10};  // max 2 nodes
+  g2.max_nodes = 2;
+  solution.groups = {g1, g2};
+  std::vector<TenantSpec> tenants = Fig41Tenants();
+  tenants.resize(2);
+  TenantSpec t9, t10;
+  t9.id = 9;
+  t9.requested_nodes = 2;
+  t10.id = 10;
+  t10.requested_nodes = 2;
+  tenants.push_back(t9);
+  tenants.push_back(t10);
+  auto plan = BuildDeploymentPlan(tenants, solution, 2, 0.99);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->groups.size(), 2u);
+  EXPECT_EQ(plan->TotalNodesUsed(), 2 * 6 + 2 * 2);
+  EXPECT_EQ(plan->groups[0].group_id, 0);
+  EXPECT_EQ(plan->groups[1].group_id, 1);
+}
+
+TEST(DeploymentPlanTest, UnknownTenantInGroupingFails) {
+  GroupingSolution solution;
+  TenantGroupResult g;
+  g.tenant_ids = {999};
+  g.max_nodes = 2;
+  solution.groups = {g};
+  auto plan = BuildDeploymentPlan(Fig41Tenants(), solution, 3, 0.999);
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeploymentPlanTest, SummaryMentionsKeyNumbers) {
+  auto plan = BuildDeploymentPlan(Fig41Tenants(), OneGroupSolution(), 3,
+                                  0.999);
+  ASSERT_TRUE(plan.ok());
+  std::ostringstream os;
+  plan->PrintSummary(os);
+  std::string summary = os.str();
+  EXPECT_NE(summary.find("10 tenants"), std::string::npos);
+  EXPECT_NE(summary.find("42"), std::string::npos);
+  EXPECT_NE(summary.find("18"), std::string::npos);
+}
+
+TEST(DeploymentPlanTest, EmptyPlan) {
+  DeploymentPlan plan;
+  EXPECT_EQ(plan.TotalNodesUsed(), 0);
+  EXPECT_EQ(plan.TotalNodesRequested(), 0);
+  EXPECT_EQ(plan.ConsolidationEffectiveness(), 0);
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,92 @@
+#include "common/distributions.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution z(10, 0.8);
+  double sum = 0;
+  for (size_t k = 0; k < z.n(); ++k) sum += z.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  ZipfDistribution z(20, 0.8);
+  for (size_t k = 1; k < z.n(); ++k) {
+    EXPECT_LE(z.Pmf(k), z.Pmf(k - 1) + 1e-15);
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfDistribution z(5, 0.0);
+  for (size_t k = 0; k < 5; ++k) EXPECT_NEAR(z.Pmf(k), 0.2, 1e-12);
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  ZipfDistribution flat(5, 0.1);
+  ZipfDistribution skew(5, 0.99);
+  EXPECT_GT(skew.Pmf(0), flat.Pmf(0));
+  EXPECT_LT(skew.Pmf(4), flat.Pmf(4));
+}
+
+TEST(ZipfTest, SingleRankAlwaysSampled) {
+  ZipfDistribution z(1, 0.8);
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(z.Sample(&rng), 0u);
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  ZipfDistribution z(6, 0.8);
+  Rng rng(123);
+  std::vector<int> counts(6, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(&rng)];
+  for (size_t k = 0; k < 6; ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), z.Pmf(k), 0.01)
+        << "rank " << k;
+  }
+}
+
+TEST(DiscreteTest, RespectsWeights) {
+  DiscreteDistribution d({1.0, 0.0, 3.0});
+  Rng rng(5);
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[d.Sample(&rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(DiscreteTest, PmfNormalizes) {
+  DiscreteDistribution d({2.0, 2.0, 4.0, 8.0});
+  EXPECT_NEAR(d.Pmf(0), 0.125, 1e-12);
+  EXPECT_NEAR(d.Pmf(3), 0.5, 1e-12);
+}
+
+class ZipfThetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfThetaSweep, SamplingMeanMatchesPmfMean) {
+  double theta = GetParam();
+  ZipfDistribution z(9, theta);
+  double expected = 0;
+  for (size_t k = 0; k < z.n(); ++k) {
+    expected += static_cast<double>(k) * z.Pmf(k);
+  }
+  Rng rng(static_cast<uint64_t>(theta * 1000) + 7);
+  double sum = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(z.Sample(&rng));
+  EXPECT_NEAR(sum / n, expected, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfThetaSweep,
+                         ::testing::Values(0.1, 0.2, 0.5, 0.8, 0.99));
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,94 @@
+#include "placement/divergent.h"
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+std::vector<PartitionLayout> MakeLayouts() {
+  PartitionLayout scans{"scan-optimized", {{1, 3.0}, {2, 1.5}}};
+  PartitionLayout joins{"join-optimized", {{3, 2.5}, {4, 2.0}}};
+  PartitionLayout balanced{"balanced", {{1, 1.4}, {2, 1.4}, {3, 1.4},
+                                        {4, 1.4}}};
+  return {scans, joins, balanced};
+}
+
+TEST(DivergentTest, LayoutSpeedupDefaultsToOne) {
+  PartitionLayout layout{"x", {{7, 2.0}}};
+  EXPECT_DOUBLE_EQ(layout.SpeedupFor(7), 2.0);
+  EXPECT_DOUBLE_EQ(layout.SpeedupFor(8), 1.0);
+}
+
+TEST(DivergentTest, CoversAllTemplatesAcrossReplicas) {
+  auto design = PlanDivergentGroup(
+      /*largest_tenant_nodes=*/4, /*total_requested_nodes=*/60,
+      /*num_mppdbs=*/3, /*workload_templates=*/{1, 2, 3, 4}, MakeLayouts());
+  ASSERT_TRUE(design.ok()) << design.status();
+  EXPECT_EQ(design->replica_layouts.size(), 3u);
+  // With scan- and join-optimized layouts both chosen somewhere, every
+  // template gets at least a 1.4x-fast replica.
+  EXPECT_GE(design->worst_template_best_speedup, 1.4);
+}
+
+TEST(DivergentTest, SizesTuningMppdbForExpectedMpl) {
+  DivergentDesignOptions options;
+  options.expected_mpl = 2;
+  auto design = PlanDivergentGroup(4, 60, 3, {1, 2, 3, 4}, MakeLayouts(),
+                                   options);
+  ASSERT_TRUE(design.ok());
+  // U must give each of 2 concurrent queries an n_1-equivalent share,
+  // discounted by MPPDB_0's layout speedup; always > n_1 and <= 2 x n_1.
+  EXPECT_GT(design->cluster.tuning_nodes(), 4);
+  EXPECT_LE(design->cluster.tuning_nodes(), 8);
+  // Replicas 1..A-1 stay at n_1.
+  EXPECT_EQ(design->cluster.mppdb_nodes[1], 4);
+  EXPECT_EQ(design->cluster.mppdb_nodes[2], 4);
+}
+
+TEST(DivergentTest, HigherMplNeedsBiggerU) {
+  DivergentDesignOptions mpl2, mpl4;
+  mpl2.expected_mpl = 2;
+  mpl4.expected_mpl = 4;
+  auto d2 = PlanDivergentGroup(4, 100, 3, {1}, MakeLayouts(), mpl2);
+  auto d4 = PlanDivergentGroup(4, 100, 3, {1}, MakeLayouts(), mpl4);
+  ASSERT_TRUE(d2.ok() && d4.ok());
+  EXPECT_GT(d4->cluster.tuning_nodes(), d2->cluster.tuning_nodes());
+}
+
+TEST(DivergentTest, LayoutSpeedupReducesU) {
+  // Template 1 runs 3x faster under the scan layout, so MPPDB_0 needs a
+  // third of the raw MPL x n_1 nodes.
+  DivergentDesignOptions options;
+  options.expected_mpl = 3;
+  auto fast = PlanDivergentGroup(4, 100, 2, {1}, MakeLayouts(), options);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->cluster.tuning_nodes(), 4);  // ceil(3*4/3.0) = 4 = n_1
+
+  PartitionLayout plain{"plain", {}};
+  auto slow = PlanDivergentGroup(4, 100, 2, {1}, {plain}, options);
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(slow->cluster.tuning_nodes(), 12);  // ceil(3*4/1.0)
+}
+
+TEST(DivergentTest, InfeasibleMplIsCapacityExceeded) {
+  // N = 14, A = 3, n_1 = 4 -> U may be at most 6; MPL 4 with no speedup
+  // needs 16.
+  PartitionLayout plain{"plain", {}};
+  DivergentDesignOptions options;
+  options.expected_mpl = 4;
+  auto result = PlanDivergentGroup(4, 14, 3, {1}, {plain}, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(DivergentTest, RejectsBadInputs) {
+  auto layouts = MakeLayouts();
+  EXPECT_FALSE(PlanDivergentGroup(4, 60, 3, {}, layouts).ok());
+  EXPECT_FALSE(PlanDivergentGroup(4, 60, 3, {1}, {}).ok());
+  DivergentDesignOptions bad;
+  bad.expected_mpl = 0;
+  EXPECT_FALSE(PlanDivergentGroup(4, 60, 3, {1}, layouts, bad).ok());
+  EXPECT_FALSE(PlanDivergentGroup(4, 60, 0, {1}, layouts).ok());
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,145 @@
+#include "sim/engine.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+
+namespace thrifty {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(30, [&](SimTime) { fired.push_back(3); });
+  q.Schedule(10, [&](SimTime) { fired.push_back(1); });
+  q.Schedule(20, [&](SimTime) { fired.push_back(2); });
+  while (!q.Empty()) {
+    SimTime t;
+    q.Pop(&t)(t);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFifoByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(100, [&fired, i](SimTime) { fired.push_back(i); });
+  }
+  while (!q.Empty()) {
+    SimTime t;
+    q.Pop(&t)(t);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelSkipsEvent) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(10, [&](SimTime) { fired.push_back(1); });
+  EventId id = q.Schedule(20, [&](SimTime) { fired.push_back(2); });
+  q.Schedule(30, [&](SimTime) { fired.push_back(3); });
+  q.Cancel(id);
+  EXPECT_EQ(q.LiveCount(), 2u);
+  while (!q.Empty()) {
+    SimTime t;
+    q.Pop(&t)(t);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, CancelInvalidIsNoop) {
+  EventQueue q;
+  q.Cancel(kInvalidEventId);
+  q.Cancel(12345);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, NextTimeReflectsHead) {
+  EventQueue q;
+  EXPECT_EQ(q.NextTime(), kNeverTime);
+  EventId id = q.Schedule(50, [](SimTime) {});
+  q.Schedule(70, [](SimTime) {});
+  EXPECT_EQ(q.NextTime(), 50);
+  q.Cancel(id);
+  EXPECT_EQ(q.NextTime(), 70);
+}
+
+TEST(SimEngineTest, ClockAdvancesToEventTimes) {
+  SimEngine engine;
+  std::vector<SimTime> seen;
+  engine.ScheduleAt(100, [&](SimTime t) { seen.push_back(t); });
+  engine.ScheduleAt(50, [&](SimTime t) { seen.push_back(t); });
+  EXPECT_EQ(engine.now(), 0);
+  engine.Run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{50, 100}));
+  EXPECT_EQ(engine.now(), 100);
+  EXPECT_EQ(engine.events_processed(), 2u);
+}
+
+TEST(SimEngineTest, ScheduleAfterIsRelative) {
+  SimEngine engine;
+  SimTime fired_at = -1;
+  engine.ScheduleAt(10, [&](SimTime) {
+    engine.ScheduleAfter(5, [&](SimTime t) { fired_at = t; });
+  });
+  engine.Run();
+  EXPECT_EQ(fired_at, 15);
+}
+
+TEST(SimEngineTest, EventsCanScheduleMoreEvents) {
+  SimEngine engine;
+  int count = 0;
+  std::function<void(SimTime)> chain = [&](SimTime) {
+    if (++count < 10) engine.ScheduleAfter(1, chain);
+  };
+  engine.ScheduleAt(0, chain);
+  engine.Run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(engine.now(), 9);
+}
+
+TEST(SimEngineTest, RunUntilStopsAtDeadline) {
+  SimEngine engine;
+  std::vector<SimTime> seen;
+  for (SimTime t : {10, 20, 30, 40}) {
+    engine.ScheduleAt(t, [&](SimTime now) { seen.push_back(now); });
+  }
+  engine.RunUntil(25);
+  EXPECT_EQ(seen, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(engine.now(), 25);  // clock advances to the deadline exactly
+  EXPECT_EQ(engine.events_pending(), 2u);
+  engine.RunUntil(100);
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(engine.now(), 100);
+}
+
+TEST(SimEngineTest, RunUntilIncludesDeadlineEvents) {
+  SimEngine engine;
+  bool fired = false;
+  engine.ScheduleAt(25, [&](SimTime) { fired = true; });
+  engine.RunUntil(25);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimEngineTest, CancelPreventsFiring) {
+  SimEngine engine;
+  bool fired = false;
+  EventId id = engine.ScheduleAt(10, [&](SimTime) { fired = true; });
+  engine.Cancel(id);
+  engine.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimEngineTest, StepReturnsFalseWhenEmpty) {
+  SimEngine engine;
+  EXPECT_FALSE(engine.Step());
+  engine.ScheduleAt(5, [](SimTime) {});
+  EXPECT_TRUE(engine.Step());
+  EXPECT_FALSE(engine.Step());
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,48 @@
+#include "activity/epoch.h"
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+TEST(EpochTest, NumEpochsExactDivision) {
+  EpochConfig e{10 * kSecond, 0, 100 * kSecond};
+  EXPECT_EQ(e.NumEpochs(), 10u);
+}
+
+TEST(EpochTest, NumEpochsRoundsUp) {
+  EpochConfig e{10 * kSecond, 0, 101 * kSecond};
+  EXPECT_EQ(e.NumEpochs(), 11u);
+}
+
+TEST(EpochTest, EpochOfBoundaries) {
+  EpochConfig e{10 * kSecond, 0, 100 * kSecond};
+  EXPECT_EQ(e.EpochOf(0), 0u);
+  EXPECT_EQ(e.EpochOf(9999), 0u);
+  EXPECT_EQ(e.EpochOf(10000), 1u);
+  EXPECT_EQ(e.EpochOf(99999), 9u);
+}
+
+TEST(EpochTest, NonZeroBegin) {
+  EpochConfig e{5 * kSecond, 100 * kSecond, 150 * kSecond};
+  EXPECT_EQ(e.NumEpochs(), 10u);
+  EXPECT_EQ(e.EpochOf(100 * kSecond), 0u);
+  EXPECT_EQ(e.EpochOf(149 * kSecond), 9u);
+  EXPECT_EQ(e.EpochBegin(2), 110 * kSecond);
+  EXPECT_EQ(e.EpochEnd(2), 115 * kSecond);
+}
+
+TEST(EpochTest, LastEpochEndClamped) {
+  EpochConfig e{10 * kSecond, 0, 95 * kSecond};
+  EXPECT_EQ(e.NumEpochs(), 10u);
+  EXPECT_EQ(e.EpochEnd(9), 95 * kSecond);
+}
+
+TEST(EpochTest, Validity) {
+  EXPECT_TRUE((EpochConfig{1, 0, 10}.Valid()));
+  EXPECT_FALSE((EpochConfig{0, 0, 10}.Valid()));
+  EXPECT_FALSE((EpochConfig{1, 10, 10}.Valid()));
+}
+
+}  // namespace
+}  // namespace thrifty

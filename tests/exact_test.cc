@@ -1,0 +1,126 @@
+#include "placement/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fig51_fixture.h"
+#include "placement/ffd.h"
+#include "placement/two_step.h"
+
+namespace thrifty {
+namespace {
+
+using testing_fixtures::Fig51Activities;
+
+std::vector<TenantSpec> UniformTenants(size_t count, int nodes) {
+  std::vector<TenantSpec> tenants(count);
+  for (size_t i = 0; i < count; ++i) {
+    tenants[i].id = static_cast<TenantId>(i + 1);
+    tenants[i].requested_nodes = nodes;
+  }
+  return tenants;
+}
+
+TEST(ExactTest, OptimalOnFig51EqualsTwoStep) {
+  auto activities = Fig51Activities();
+  auto tenants = UniformTenants(6, 4);
+  auto problem = MakePackingProblem(tenants, activities, 3, 0.999);
+  ASSERT_TRUE(problem.ok());
+  auto exact = SolveExact(*problem);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  EXPECT_TRUE(VerifySolution(*problem, *exact).ok());
+  // Two groups of 4-node tenants: 2 x 3 x 4 = 24 nodes is optimal (one
+  // group is impossible: TTP(3) of all six is 90%).
+  EXPECT_EQ(exact->NodesUsed(3), 24);
+  auto two_step = SolveTwoStep(*problem);
+  ASSERT_TRUE(two_step.ok());
+  EXPECT_EQ(two_step->NodesUsed(3), exact->NodesUsed(3));
+}
+
+TEST(ExactTest, NeverWorseThanHeuristics) {
+  Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    const size_t num_epochs = 60;
+    std::vector<ActivityVector> activities;
+    std::vector<TenantSpec> tenants;
+    const int sizes[] = {2, 4};
+    for (TenantId id = 0; id < 8; ++id) {
+      DynamicBitmap bits(num_epochs);
+      size_t begin = rng.NextBounded(num_epochs);
+      bits.SetRange(begin, begin + 5 + rng.NextBounded(20));
+      activities.push_back(ActivityVector::FromBitmap(id, bits));
+      TenantSpec spec;
+      spec.id = id;
+      spec.requested_nodes = sizes[rng.NextBounded(2)];
+      tenants.push_back(spec);
+    }
+    auto problem = MakePackingProblem(tenants, activities, 2, 0.95);
+    ASSERT_TRUE(problem.ok());
+    auto exact = SolveExact(*problem);
+    ASSERT_TRUE(exact.ok()) << exact.status();
+    EXPECT_TRUE(VerifySolution(*problem, *exact).ok());
+    auto two_step = SolveTwoStep(*problem);
+    auto ffd = SolveFfd(*problem);
+    ASSERT_TRUE(two_step.ok() && ffd.ok());
+    EXPECT_LE(exact->NodesUsed(2), two_step->NodesUsed(2)) << trial;
+    EXPECT_LE(exact->NodesUsed(2), ffd->NodesUsed(2)) << trial;
+  }
+}
+
+TEST(ExactTest, SingleTenantTrivial) {
+  DynamicBitmap bits(10);
+  bits.SetRange(0, 10);
+  std::vector<ActivityVector> activities;
+  activities.push_back(ActivityVector::FromBitmap(1, bits));
+  auto tenants = UniformTenants(1, 8);
+  auto problem = MakePackingProblem(tenants, activities, 3, 0.999);
+  ASSERT_TRUE(problem.ok());
+  auto exact = SolveExact(*problem);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(exact->groups.size(), 1u);
+  EXPECT_EQ(exact->NodesUsed(3), 24);
+}
+
+TEST(ExactTest, BudgetExhaustionReportsCleanly) {
+  // Plenty of mutually compatible tenants + a one-node search budget.
+  std::vector<ActivityVector> activities;
+  std::vector<TenantSpec> tenants = UniformTenants(10, 2);
+  for (TenantId id = 1; id <= 10; ++id) {
+    DynamicBitmap bits(100);
+    bits.SetRange(static_cast<size_t>(id) * 5, static_cast<size_t>(id) * 5 + 2);
+    activities.push_back(ActivityVector::FromBitmap(id, bits));
+  }
+  auto problem = MakePackingProblem(tenants, activities, 3, 0.999);
+  ASSERT_TRUE(problem.ok());
+  ExactSolverOptions options;
+  options.max_search_nodes = 10;
+  auto result = SolveExact(*problem, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(ExactTest, RespectsFuzzyCapacityAtExactBoundary) {
+  // Two tenants overlapping in exactly 1 of 20 epochs; R=1.
+  // P = 0.95 admits them together (19/20), P = 0.96 forbids it.
+  DynamicBitmap a(20), b(20);
+  a.SetRange(0, 10);
+  b.SetRange(9, 19);
+  std::vector<ActivityVector> activities;
+  activities.push_back(ActivityVector::FromBitmap(1, a));
+  activities.push_back(ActivityVector::FromBitmap(2, b));
+  auto tenants = UniformTenants(2, 4);
+
+  auto loose = MakePackingProblem(tenants, activities, 1, 0.95);
+  ASSERT_TRUE(loose.ok());
+  auto loose_solution = SolveExact(*loose);
+  ASSERT_TRUE(loose_solution.ok());
+  EXPECT_EQ(loose_solution->groups.size(), 1u);
+
+  auto tight = MakePackingProblem(tenants, activities, 1, 0.96);
+  ASSERT_TRUE(tight.ok());
+  auto tight_solution = SolveExact(*tight);
+  ASSERT_TRUE(tight_solution.ok());
+  EXPECT_EQ(tight_solution->groups.size(), 2u);
+}
+
+}  // namespace
+}  // namespace thrifty

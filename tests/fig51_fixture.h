@@ -1,0 +1,57 @@
+// Shared fixture: the tenant activities of the paper's Figure 5.1,
+// reconstructed exactly from the worked example in Figures 5.1/5.3.
+//
+// Ten epochs t1..t10 (0-indexed 0..9 here):
+//   T1 active t1-t6, T2 t7-t10, T3 t2-t4, T4 {t5,t6,t7,t9,t10},
+//   T5 {t1,t2,t5,t6}, T6 {t3,t4,t5,t7,t8,t9}.
+//
+// This assignment reproduces every number in the paper's walkthrough:
+//  * sum over {T1,T4,T5,T6} = <2,2,2,2,4,3,2,1,2,1> (§5's example), and
+//    COUNT^{<=3} of it = 9;
+//  * all the level-percentage transitions of Fig 5.3 panels (a)-(e);
+//  * the insertion order T3, T2, T5, T4, T6 and the rejection of T1 at
+//    R = 3, P = 99.9%.
+
+#ifndef THRIFTY_TESTS_FIG51_FIXTURE_H_
+#define THRIFTY_TESTS_FIG51_FIXTURE_H_
+
+#include <vector>
+
+#include "activity/activity_vector.h"
+#include "common/bitmap.h"
+
+namespace thrifty {
+namespace testing_fixtures {
+
+inline constexpr size_t kFig51Epochs = 10;
+
+/// \brief 0-indexed active epochs of tenants T1..T6 (index 0 = T1).
+inline const std::vector<std::vector<size_t>>& Fig51ActiveEpochs() {
+  static const std::vector<std::vector<size_t>> kEpochs = {
+      {0, 1, 2, 3, 4, 5},     // T1
+      {6, 7, 8, 9},           // T2
+      {1, 2, 3},              // T3
+      {4, 5, 6, 8, 9},        // T4
+      {0, 1, 4, 5},           // T5
+      {2, 3, 4, 6, 7, 8},     // T6
+  };
+  return kEpochs;
+}
+
+/// \brief Activity vectors for T1..T6 with tenant ids 1..6.
+inline std::vector<ActivityVector> Fig51Activities() {
+  std::vector<ActivityVector> out;
+  const auto& epochs = Fig51ActiveEpochs();
+  for (size_t i = 0; i < epochs.size(); ++i) {
+    DynamicBitmap bits(kFig51Epochs);
+    for (size_t k : epochs[i]) bits.Set(k);
+    out.push_back(ActivityVector::FromBitmap(
+        static_cast<TenantId>(i + 1), bits));
+  }
+  return out;
+}
+
+}  // namespace testing_fixtures
+}  // namespace thrifty
+
+#endif  // THRIFTY_TESTS_FIG51_FIXTURE_H_

@@ -1,0 +1,182 @@
+// Panel-by-panel golden test of Figure 5.3: every percentage transition the
+// paper's worked example prints, asserted exactly against the level-set
+// algebra and the candidate criterion. (The end-to-end insertion order is
+// covered in two_step_test; this file pins the intermediate numbers.)
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "activity/level_set.h"
+#include "fig51_fixture.h"
+#include "placement/two_step.h"
+#include "routing/query_router.h"
+#include "sim/engine.h"
+
+namespace thrifty {
+namespace {
+
+using testing_fixtures::Fig51Activities;
+using testing_fixtures::kFig51Epochs;
+
+// Exact-level percentages (x10%) for levels 1..n from EvaluateAdd popcounts.
+std::vector<int> ExactTenths(const std::vector<size_t>& at_least_pops) {
+  std::vector<int> tenths;
+  for (size_t m = 1; m <= at_least_pops.size(); ++m) {
+    size_t above = m < at_least_pops.size() ? at_least_pops[m] : 0;
+    tenths.push_back(static_cast<int>(at_least_pops[m - 1] - above));
+  }
+  return tenths;
+}
+
+class Fig53PanelsTest : public ::testing::Test {
+ protected:
+  Fig53PanelsTest() : activities_(Fig51Activities()) {}
+
+  const ActivityVector& T(int i) {
+    return activities_[static_cast<size_t>(i - 1)];
+  }
+
+  std::vector<ActivityVector> activities_;
+};
+
+TEST_F(Fig53PanelsTest, PanelA_GroupT3) {
+  GroupLevelSet group(kFig51Epochs);
+  group.Add(T(3));
+  // Baseline: 1-active 30%.
+  EXPECT_EQ(group.ExactLevelFractions(), (std::vector<double>{0.3}));
+  // +T1? 30%->30%, 0%->30%      +T2? 30%->70%, 0%->0%
+  // +T4? 30%->80%, 0%->0%       +T5? 30%->50%, 0%->10%
+  // +T6? 30%->50%, 0%->20%
+  EXPECT_EQ(ExactTenths(group.EvaluateAdd(T(1))), (std::vector<int>{3, 3}));
+  EXPECT_EQ(ExactTenths(group.EvaluateAdd(T(2))), (std::vector<int>{7}));
+  EXPECT_EQ(ExactTenths(group.EvaluateAdd(T(4))), (std::vector<int>{8}));
+  EXPECT_EQ(ExactTenths(group.EvaluateAdd(T(5))), (std::vector<int>{5, 1}));
+  EXPECT_EQ(ExactTenths(group.EvaluateAdd(T(6))), (std::vector<int>{5, 2}));
+  // T2 is chosen: no 2-active time, and less 1-active time than T4.
+  EXPECT_LT(CompareCandidateLevels(group.EvaluateAdd(T(2)),
+                                   group.EvaluateAdd(T(4))),
+            0);
+}
+
+TEST_F(Fig53PanelsTest, PanelB_GroupT3T2) {
+  GroupLevelSet group(kFig51Epochs);
+  group.Add(T(3));
+  group.Add(T(2));
+  EXPECT_EQ(group.ExactLevelFractions(), (std::vector<double>{0.7}));
+  // +T1? 70->70, 0->30   +T4? 70->60, 0->30
+  // +T5? 70->90, 0->10   +T6? 70->30, 0->50
+  EXPECT_EQ(ExactTenths(group.EvaluateAdd(T(1))), (std::vector<int>{7, 3}));
+  EXPECT_EQ(ExactTenths(group.EvaluateAdd(T(4))), (std::vector<int>{6, 3}));
+  EXPECT_EQ(ExactTenths(group.EvaluateAdd(T(5))), (std::vector<int>{9, 1}));
+  EXPECT_EQ(ExactTenths(group.EvaluateAdd(T(6))), (std::vector<int>{3, 5}));
+  // T5 chosen: least 2-active increase.
+  for (int other : {1, 4, 6}) {
+    EXPECT_LT(CompareCandidateLevels(group.EvaluateAdd(T(5)),
+                                     group.EvaluateAdd(T(other))),
+              0)
+        << "T5 vs T" << other;
+  }
+}
+
+TEST_F(Fig53PanelsTest, PanelC_GroupT3T2T5) {
+  GroupLevelSet group(kFig51Epochs);
+  group.Add(T(3));
+  group.Add(T(2));
+  group.Add(T(5));
+  EXPECT_EQ(group.ExactLevelFractions(), (std::vector<double>{0.9, 0.1}));
+  // +T1? 90->40, 10->50, 0->10   +T4? 90->40, 10->60, 0->0
+  // +T6? 90->30, 10->70, 0->0
+  EXPECT_EQ(ExactTenths(group.EvaluateAdd(T(1))),
+            (std::vector<int>{4, 5, 1}));
+  EXPECT_EQ(ExactTenths(group.EvaluateAdd(T(4))), (std::vector<int>{4, 6}));
+  EXPECT_EQ(ExactTenths(group.EvaluateAdd(T(6))), (std::vector<int>{3, 7}));
+  // T4 chosen: no 3-active time and less 2-active time than T6.
+  EXPECT_LT(CompareCandidateLevels(group.EvaluateAdd(T(4)),
+                                   group.EvaluateAdd(T(6))),
+            0);
+  EXPECT_LT(CompareCandidateLevels(group.EvaluateAdd(T(4)),
+                                   group.EvaluateAdd(T(1))),
+            0);
+}
+
+TEST_F(Fig53PanelsTest, PanelD_GroupT2ToT5_AllTies) {
+  GroupLevelSet group(kFig51Epochs);
+  for (int i : {3, 2, 5, 4}) group.Add(T(i));
+  EXPECT_EQ(group.ExactLevelFractions(), (std::vector<double>{0.4, 0.6}));
+  // +T1? 40->10, 60->60, 0->30, 0->0  (the dagger note: with T2-T5 only,
+  // epochs t1,t3,t4,t8 have one active; with T1 added only t8 does)
+  // +T6? identical transitions -> "All ties; T6 is chosen".
+  auto t1 = group.EvaluateAdd(T(1));
+  auto t6 = group.EvaluateAdd(T(6));
+  EXPECT_EQ(ExactTenths(t1), (std::vector<int>{1, 6, 3}));
+  EXPECT_EQ(ExactTenths(t6), (std::vector<int>{1, 6, 3}));
+  EXPECT_EQ(CompareCandidateLevels(t1, t6), 0);
+}
+
+TEST_F(Fig53PanelsTest, PanelE_TtpDropRejectsT1) {
+  GroupLevelSet group(kFig51Epochs);
+  for (int i : {3, 2, 5, 4, 6}) group.Add(T(i));
+  // TTP (for R <= 3) before adding T1: 10% + 60% + 30% = 100%.
+  EXPECT_EQ(group.ExactLevelFractions(),
+            (std::vector<double>{0.1, 0.6, 0.3}));
+  EXPECT_DOUBLE_EQ(group.Ttp(3), 1.0);
+  // TTP (for R <= 3) if T1 is added: 0% + 30% + 60% = 90% < 99.9%.
+  auto pops = group.EvaluateAdd(T(1));
+  EXPECT_EQ(ExactTenths(pops), (std::vector<int>{0, 3, 6, 1}));
+  EXPECT_DOUBLE_EQ(group.TtpFromPopcounts(pops, 3), 0.9);
+  EXPECT_LT(group.TtpFromPopcounts(pops, 3), 0.999);
+}
+
+// §4.4: "TDD achieves load balancing among tenants implicitly" — under a
+// symmetric rotating load, the busy time of a group's MPPDBs is spread
+// evenly rather than piling onto one replica.
+TEST(LoadBalancingTest, BusyTimeSpreadsAcrossReplicas) {
+  SimEngine engine;
+  std::vector<std::unique_ptr<MppdbInstance>> instances;
+  std::vector<MppdbInstance*> raw;
+  for (InstanceId id = 0; id < 3; ++id) {
+    instances.push_back(std::make_unique<MppdbInstance>(id, 4, &engine));
+    for (TenantId t = 0; t < 6; ++t) instances.back()->AddTenant(t, 100);
+    raw.push_back(instances.back().get());
+  }
+  GroupRouter router(0, raw);
+  QueryTemplate tmpl;
+  tmpl.id = 0;
+  tmpl.work_seconds_per_gb = 1.2;  // 30 s per query on 4 nodes
+  QueryId next = 0;
+  // Two tenants are always concurrently active, rotating over six tenants.
+  for (SimTime t = 0; t < 2 * kHour; t += 20 * kSecond) {
+    engine.ScheduleAt(t, [&, t](SimTime) {
+      TenantId tenant = static_cast<TenantId>((t / (20 * kSecond)) % 6);
+      auto decision = router.Route(tenant);
+      ASSERT_TRUE(decision.ok());
+      QuerySubmission s;
+      s.query_id = next++;
+      s.tenant_id = tenant;
+      ASSERT_TRUE(decision->instance->Submit(s, tmpl).ok());
+    });
+  }
+  engine.Run();
+  double total = 0;
+  double max_busy = 0;
+  for (MppdbInstance* m : raw) {
+    total += DurationToSeconds(m->busy_time());
+    max_busy = std::max(max_busy, DurationToSeconds(m->busy_time()));
+  }
+  ASSERT_GT(total, 0);
+  // With ~2 concurrently active tenants the load spreads over (at least)
+  // two replicas rather than piling onto one; Algorithm 1 never touches a
+  // third MPPDB it does not need.
+  EXPECT_LT(max_busy / total, 0.7);
+  int replicas_used = 0;
+  for (MppdbInstance* m : raw) {
+    replicas_used += m->busy_time() > 0 ? 1 : 0;
+  }
+  EXPECT_GE(replicas_used, 2);
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,121 @@
+#include "placement/heterogeneous.h"
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+NodeInventory MakeInventory() {
+  NodeInventory inventory;
+  inventory.classes = {
+      {"fast", 4, 2.0},
+      {"standard", 10, 1.0},
+      {"slow", 8, 0.5},
+  };
+  return inventory;
+}
+
+TEST(HeterogeneousTest, InventoryTotals) {
+  NodeInventory inventory = MakeInventory();
+  EXPECT_EQ(inventory.TotalNodes(), 22);
+  EXPECT_DOUBLE_EQ(inventory.TotalCapability(), 8 + 10 + 4);
+}
+
+TEST(HeterogeneousTest, PrefersExactHomogeneousFit) {
+  NodeInventory inventory = MakeInventory();
+  // Capability 4: two fast nodes (waste 0) beats four standard (waste 0) on
+  // node count.
+  auto mppdb = AllocateMppdb(&inventory, 4.0);
+  ASSERT_TRUE(mppdb.ok()) << mppdb.status();
+  ASSERT_EQ(mppdb->allocation.size(), 1u);
+  EXPECT_EQ(mppdb->allocation[0], (std::pair<size_t, int>{0, 2}));
+  EXPECT_DOUBLE_EQ(mppdb->effective_capability, 4.0);
+  EXPECT_EQ(inventory.classes[0].count, 2);  // consumed
+}
+
+TEST(HeterogeneousTest, MinimizesWaste) {
+  NodeInventory inventory = MakeInventory();
+  // Capability 3: three standard (waste 0) beats two fast (waste 1).
+  auto mppdb = AllocateMppdb(&inventory, 3.0);
+  ASSERT_TRUE(mppdb.ok());
+  ASSERT_EQ(mppdb->allocation.size(), 1u);
+  EXPECT_EQ(mppdb->allocation[0].first, 1u);
+  EXPECT_EQ(mppdb->allocation[0].second, 3);
+}
+
+TEST(HeterogeneousTest, MixesWhenNoSingleClassSuffices) {
+  NodeInventory inventory = MakeInventory();
+  // Capability 12 > any single class's total (fast 8, standard 10, slow 4),
+  // so a mixed build is required; the 0.5 mixing penalty applies
+  // (fast+standard: discount 0.75, needs raw 16 = 8 fast + 8 standard).
+  auto mppdb = AllocateMppdb(&inventory, 12.0);
+  ASSERT_TRUE(mppdb.ok()) << mppdb.status();
+  EXPECT_GE(mppdb->allocation.size(), 2u);
+  EXPECT_GE(mppdb->effective_capability, 12.0);
+}
+
+TEST(HeterogeneousTest, MixingPenaltyDiscountsCapability) {
+  NodeInventory inventory;
+  inventory.classes = {{"fast", 1, 2.0}, {"slow", 10, 1.0}};
+  HeterogeneousDesignOptions options;
+  options.mixing_penalty = 1.0;  // straggler-bound
+  // Raw 2 + k: with full penalty, capability scales by min/max = 0.5.
+  auto mppdb = AllocateMppdb(&inventory, 4.0, options);
+  ASSERT_TRUE(mppdb.ok());
+  // A homogeneous slow build (4 nodes, no discount) should have won over a
+  // mixed one.
+  ASSERT_EQ(mppdb->allocation.size(), 1u);
+  EXPECT_EQ(inventory.classes[1].count, 6);
+}
+
+TEST(HeterogeneousTest, FailsWhenInventoryExhausted) {
+  NodeInventory inventory = MakeInventory();
+  auto result = AllocateMppdb(&inventory, 1000.0);
+  EXPECT_EQ(result.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(HeterogeneousTest, GroupDesignConsumesAtomically) {
+  NodeInventory inventory = MakeInventory();
+  // Three MPPDBs of capability 6 each: feasible (total capability 22).
+  auto design = DesignHeterogeneousGroupCluster(&inventory, 6.0, 3);
+  ASSERT_TRUE(design.ok()) << design.status();
+  EXPECT_EQ(design->size(), 3u);
+  for (const auto& mppdb : *design) {
+    EXPECT_GE(mppdb.effective_capability, 6.0 - 1e-9);
+  }
+
+  // A second identical group cannot fit; the inventory must be unchanged
+  // by the failed attempt.
+  NodeInventory before = inventory;
+  auto too_much = DesignHeterogeneousGroupCluster(&inventory, 6.0, 3);
+  EXPECT_EQ(too_much.status().code(), StatusCode::kCapacityExceeded);
+  for (size_t i = 0; i < inventory.classes.size(); ++i) {
+    EXPECT_EQ(inventory.classes[i].count, before.classes[i].count);
+  }
+}
+
+TEST(HeterogeneousTest, RejectsBadInputs) {
+  NodeInventory inventory = MakeInventory();
+  EXPECT_FALSE(AllocateMppdb(&inventory, 0).ok());
+  EXPECT_FALSE(AllocateMppdb(nullptr, 4).ok());
+  NodeInventory bad;
+  bad.classes = {{"broken", 2, -1.0}};
+  EXPECT_FALSE(AllocateMppdb(&bad, 1).ok());
+  EXPECT_FALSE(DesignHeterogeneousGroupCluster(&inventory, 4, 0).ok());
+}
+
+TEST(HeterogeneousTest, HomogeneousInventoryMatchesClassicDesign) {
+  // With one class at speed 1, the design degenerates to the paper's
+  // homogeneous A x n_1 arrangement.
+  NodeInventory inventory;
+  inventory.classes = {{"standard", 18, 1.0}};
+  auto design = DesignHeterogeneousGroupCluster(&inventory, 6.0, 3);
+  ASSERT_TRUE(design.ok());
+  int total = 0;
+  for (const auto& mppdb : *design) total += mppdb.TotalNodes();
+  EXPECT_EQ(total, 18);  // 3 x 6, the Fig 4.1 answer
+  EXPECT_EQ(inventory.classes[0].count, 0);
+}
+
+}  // namespace
+}  // namespace thrifty

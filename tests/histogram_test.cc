@@ -1,0 +1,73 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.FractionAtMost(10), 1.0);
+}
+
+TEST(HistogramTest, TracksExtremesAndMeanExactly) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(2.0);
+  h.Add(9.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 4.0);
+}
+
+TEST(HistogramTest, PercentileBoundedRelativeError) {
+  Histogram h(1.0, 1.05);
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  EXPECT_NEAR(h.Percentile(0.5), 500, 500 * 0.06);
+  EXPECT_NEAR(h.Percentile(0.99), 990, 990 * 0.06);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 1000);
+}
+
+TEST(HistogramTest, FractionAtMost) {
+  Histogram h(0.01, 1.02);
+  for (int i = 0; i < 90; ++i) h.Add(1.0);
+  for (int i = 0; i < 10; ++i) h.Add(5.0);
+  EXPECT_NEAR(h.FractionAtMost(1.01), 0.9, 0.001);
+  EXPECT_NEAR(h.FractionAtMost(10.0), 1.0, 0.001);
+  EXPECT_NEAR(h.FractionAtMost(0.5), 0.0, 0.001);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  b.Add(10.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_NEAR(a.Mean(), 13.0 / 3, 1e-12);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0);
+}
+
+TEST(HistogramTest, ZeroValuesLandInFirstBucket) {
+  Histogram h;
+  h.Add(0.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_NEAR(h.FractionAtMost(1.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,152 @@
+#include "common/interval.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace thrifty {
+namespace {
+
+TEST(TimeIntervalTest, Basics) {
+  TimeInterval iv{10, 20};
+  EXPECT_EQ(iv.length(), 10);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(iv.Contains(10));
+  EXPECT_TRUE(iv.Contains(19));
+  EXPECT_FALSE(iv.Contains(20));
+  EXPECT_TRUE(iv.Overlaps({19, 25}));
+  EXPECT_FALSE(iv.Overlaps({20, 25}));  // half-open: touching != overlap
+}
+
+TEST(IntervalSetTest, EmptyAddIgnored) {
+  IntervalSet set;
+  set.Add(5, 5);
+  set.Add(7, 3);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.TotalLength(), 0);
+}
+
+TEST(IntervalSetTest, MergesOverlapping) {
+  IntervalSet set;
+  set.Add(0, 10);
+  set.Add(5, 15);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0], (TimeInterval{0, 15}));
+}
+
+TEST(IntervalSetTest, CoalescesAdjacent) {
+  IntervalSet set;
+  set.Add(0, 10);
+  set.Add(10, 20);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.TotalLength(), 20);
+}
+
+TEST(IntervalSetTest, KeepsDisjoint) {
+  IntervalSet set;
+  set.Add(20, 30);
+  set.Add(0, 10);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.intervals()[0], (TimeInterval{0, 10}));
+  EXPECT_EQ(set.intervals()[1], (TimeInterval{20, 30}));
+  EXPECT_EQ(set.TotalLength(), 20);
+}
+
+TEST(IntervalSetTest, ContainsAndOverlaps) {
+  IntervalSet set;
+  set.Add(0, 10);
+  set.Add(20, 30);
+  EXPECT_TRUE(set.Contains(0));
+  EXPECT_FALSE(set.Contains(10));
+  EXPECT_FALSE(set.Contains(15));
+  EXPECT_TRUE(set.Contains(25));
+  EXPECT_TRUE(set.OverlapsRange(9, 11));
+  EXPECT_FALSE(set.OverlapsRange(10, 20));
+  EXPECT_TRUE(set.OverlapsRange(15, 21));
+  EXPECT_FALSE(set.OverlapsRange(30, 40));
+}
+
+TEST(IntervalSetTest, ClipCutsBoundaries) {
+  IntervalSet set;
+  set.Add(0, 10);
+  set.Add(20, 30);
+  IntervalSet clipped = set.Clip(5, 25);
+  ASSERT_EQ(clipped.size(), 2u);
+  EXPECT_EQ(clipped.intervals()[0], (TimeInterval{5, 10}));
+  EXPECT_EQ(clipped.intervals()[1], (TimeInterval{20, 25}));
+}
+
+TEST(IntervalSetTest, ShiftMovesEverything) {
+  IntervalSet set;
+  set.Add(0, 10);
+  IntervalSet shifted = set.Shift(100);
+  ASSERT_EQ(shifted.size(), 1u);
+  EXPECT_EQ(shifted.intervals()[0], (TimeInterval{100, 110}));
+}
+
+TEST(IntervalSetTest, UnionOfSets) {
+  IntervalSet a, b;
+  a.Add(0, 10);
+  b.Add(5, 20);
+  b.Add(30, 40);
+  a.Union(b);
+  EXPECT_EQ(a.TotalLength(), 30);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(IntervalSetTest, VectorConstructorNormalizes) {
+  IntervalSet set({{20, 30}, {0, 10}, {5, 15}, {40, 40}});
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.intervals()[0], (TimeInterval{0, 15}));
+  EXPECT_EQ(set.intervals()[1], (TimeInterval{20, 30}));
+}
+
+TEST(IntervalSetTest, ClipOutsideRangeIsEmpty) {
+  IntervalSet set;
+  set.Add(10, 20);
+  EXPECT_TRUE(set.Clip(20, 30).empty());
+  EXPECT_TRUE(set.Clip(0, 10).empty());
+  EXPECT_TRUE(set.Clip(15, 15).empty());
+}
+
+TEST(IntervalSetTest, UnionWithEmpty) {
+  IntervalSet a, empty;
+  a.Add(0, 5);
+  a.Union(empty);
+  EXPECT_EQ(a.TotalLength(), 5);
+  empty.Union(a);
+  EXPECT_EQ(empty.TotalLength(), 5);
+}
+
+// Property test: IntervalSet agrees with a brute-force boolean timeline.
+TEST(IntervalSetTest, MatchesBruteForceOnRandomInput) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int horizon = 200;
+    std::vector<bool> truth(horizon, false);
+    IntervalSet set;
+    for (int i = 0; i < 30; ++i) {
+      SimTime b = rng.NextInt(0, horizon - 1);
+      SimTime e = rng.NextInt(b, horizon);
+      set.Add(b, e);
+      for (SimTime t = b; t < e; ++t) truth[static_cast<size_t>(t)] = true;
+    }
+    SimDuration truth_len = 0;
+    for (bool v : truth) truth_len += v ? 1 : 0;
+    EXPECT_EQ(set.TotalLength(), truth_len);
+    for (SimTime t = 0; t < horizon; ++t) {
+      ASSERT_EQ(set.Contains(t), truth[static_cast<size_t>(t)])
+          << "trial " << trial << " t " << t;
+    }
+    // Normalized form must be sorted and disjoint.
+    const auto& ivs = set.intervals();
+    for (size_t i = 1; i < ivs.size(); ++i) {
+      ASSERT_GT(ivs[i].begin, ivs[i - 1].end);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,78 @@
+#include "scaling/manual_tuning.h"
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+TEST(ManualTuningTest, HealthyGroupNeedsNothing) {
+  auto advice = AdviseTuning(/*rt_ttp=*/0.9995, /*trending_down=*/false,
+                             /*sla=*/0.999, /*n1=*/10, /*u=*/10,
+                             /*u_max=*/30, /*overflow_concurrency=*/1);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->action, TuningAction::kNone);
+  EXPECT_EQ(advice->recommended_tuning_nodes, 10);
+}
+
+TEST(ManualTuningTest, ThePaperChapter6Example) {
+  // 99.8% RT-TTP vs 99.9% P, flat, three 10-node MPPDBs: raise U from 10
+  // (e.g. to 20 for one observed overflow query so both queries keep
+  // 10-node-equivalent rate).
+  auto advice = AdviseTuning(0.998, false, 0.999, 10, 10, 30, 1);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->action, TuningAction::kRaiseTuningNodes);
+  EXPECT_EQ(advice->recommended_tuning_nodes, 20);
+}
+
+TEST(ManualTuningTest, HigherOverflowConcurrencyNeedsMoreNodes) {
+  auto advice = AdviseTuning(0.998, false, 0.999, 10, 10, 40, 2);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->action, TuningAction::kRaiseTuningNodes);
+  EXPECT_EQ(advice->recommended_tuning_nodes, 30);
+}
+
+TEST(ManualTuningTest, TrendingDownEscalatesToElasticScaling) {
+  auto advice = AdviseTuning(0.998, /*trending_down=*/true, 0.999, 10, 10,
+                             30, 1);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->action, TuningAction::kElasticScale);
+}
+
+TEST(ManualTuningTest, LargeBreachEscalates) {
+  auto advice = AdviseTuning(0.98, false, 0.999, 10, 10, 30, 1);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->action, TuningAction::kElasticScale);
+}
+
+TEST(ManualTuningTest, CapExhaustedEscalates) {
+  // U already at its N - (A-1) n_1 bound: raising is impossible.
+  auto advice = AdviseTuning(0.998, false, 0.999, 10, 20, 20, 1);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->action, TuningAction::kElasticScale);
+}
+
+TEST(ManualTuningTest, ClampsToUpperBound) {
+  // Wanted 30 but the bound is 25: clamped recommendation still helps.
+  auto advice = AdviseTuning(0.998, false, 0.999, 10, 10, 25, 2);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->action, TuningAction::kRaiseTuningNodes);
+  EXPECT_EQ(advice->recommended_tuning_nodes, 25);
+}
+
+TEST(ManualTuningTest, RejectsBadInputs) {
+  EXPECT_FALSE(AdviseTuning(-0.1, false, 0.999, 10, 10, 30, 1).ok());
+  EXPECT_FALSE(AdviseTuning(0.998, false, 1.5, 10, 10, 30, 1).ok());
+  EXPECT_FALSE(AdviseTuning(0.998, false, 0.999, 10, 5, 30, 1).ok());
+  EXPECT_FALSE(AdviseTuning(0.998, false, 0.999, 10, 10, 30, 0).ok());
+}
+
+TEST(ManualTuningTest, ActionNames) {
+  EXPECT_STREQ(TuningActionToString(TuningAction::kNone), "none");
+  EXPECT_STREQ(TuningActionToString(TuningAction::kRaiseTuningNodes),
+               "raise-tuning-nodes");
+  EXPECT_STREQ(TuningActionToString(TuningAction::kElasticScale),
+               "elastic-scale");
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,97 @@
+#include "scaling/overactive.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+ActivityVector MakeVector(TenantId id, size_t num_epochs,
+                          std::initializer_list<std::pair<size_t, size_t>>
+                              ranges) {
+  DynamicBitmap bits(num_epochs);
+  for (auto [begin, end] : ranges) bits.SetRange(begin, end);
+  return ActivityVector::FromBitmap(id, bits);
+}
+
+TEST(OveractiveTest, AllQuietMeansNobodyOveractive) {
+  std::vector<ActivityVector> members;
+  for (TenantId id = 0; id < 6; ++id) {
+    members.push_back(MakeVector(id, 100, {{id * 10ul, id * 10ul + 5}}));
+  }
+  auto result = IdentifyOveractiveTenants(members, 3, 0.999);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(OveractiveTest, HyperactiveTenantIsSingledOut) {
+  // Five tenants with small disjoint bursts plus one active everywhere.
+  std::vector<ActivityVector> members;
+  for (TenantId id = 0; id < 5; ++id) {
+    members.push_back(MakeVector(id, 100, {{id * 10ul, id * 10ul + 8}}));
+  }
+  members.push_back(MakeVector(99, 100, {{0, 100}}));
+  // R = 1: the always-active tenant collides with everyone.
+  auto result = IdentifyOveractiveTenants(members, 1, 0.95);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0], 99);
+}
+
+TEST(OveractiveTest, MultipleOveractiveTenants) {
+  std::vector<ActivityVector> members;
+  for (TenantId id = 0; id < 4; ++id) {
+    members.push_back(MakeVector(id, 100, {{id * 5ul, id * 5ul + 3}}));
+  }
+  members.push_back(MakeVector(50, 100, {{0, 90}}));
+  members.push_back(MakeVector(51, 100, {{5, 95}}));
+  auto result = IdentifyOveractiveTenants(members, 1, 0.95);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_TRUE(std::count(result->begin(), result->end(), 50));
+  EXPECT_TRUE(std::count(result->begin(), result->end(), 51));
+}
+
+TEST(OveractiveTest, RespectsReplicationFactor) {
+  // Three tenants fully overlapping: fine at R = 3, two evicted at R = 1.
+  std::vector<ActivityVector> members;
+  for (TenantId id = 0; id < 3; ++id) {
+    members.push_back(MakeVector(id, 100, {{0, 50}}));
+  }
+  auto at_r3 = IdentifyOveractiveTenants(members, 3, 0.999);
+  ASSERT_TRUE(at_r3.ok());
+  EXPECT_TRUE(at_r3->empty());
+  auto at_r1 = IdentifyOveractiveTenants(members, 1, 0.999);
+  ASSERT_TRUE(at_r1.ok());
+  EXPECT_EQ(at_r1->size(), 2u);
+}
+
+TEST(OveractiveTest, EmptyGroupIsAnError) {
+  std::vector<ActivityVector> members;
+  EXPECT_EQ(IdentifyOveractiveTenants(members, 3, 0.999).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MostActiveTenant(members).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OveractiveTest, MismatchedVectorLengthsRejected) {
+  std::vector<ActivityVector> members;
+  members.push_back(MakeVector(0, 100, {{0, 5}}));
+  members.push_back(MakeVector(1, 50, {{0, 5}}));
+  EXPECT_EQ(IdentifyOveractiveTenants(members, 3, 0.999).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OveractiveTest, MostActiveTenantPicksLargestFootprint) {
+  std::vector<ActivityVector> members;
+  members.push_back(MakeVector(1, 100, {{0, 10}}));
+  members.push_back(MakeVector(2, 100, {{0, 40}}));
+  members.push_back(MakeVector(3, 100, {{0, 25}}));
+  auto result = MostActiveTenant(members);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 2);
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,131 @@
+#include "placement/plan_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/deployment_master.h"
+
+namespace thrifty {
+namespace {
+
+DeploymentPlan MakePlan() {
+  DeploymentPlan plan;
+  plan.replication_factor = 3;
+  plan.sla_fraction = 0.999;
+  GroupDeployment g0;
+  g0.group_id = 0;
+  g0.cluster.mppdb_nodes = {6, 4, 4};
+  TenantSpec t0{10, 4, 400, QuerySuite::kTpch, 3, 2};
+  TenantSpec t1{11, 4, 400, QuerySuite::kTpcds, 16, 5};
+  g0.tenants = {t0, t1};
+  plan.groups.push_back(g0);
+  GroupDeployment g1;
+  g1.group_id = 1;
+  g1.cluster.mppdb_nodes = {2, 2, 2};
+  TenantSpec t2{12, 2, 200, QuerySuite::kTpch, 0, 1};
+  g1.tenants = {t2};
+  plan.groups.push_back(g1);
+  return plan;
+}
+
+TEST(PlanIoTest, RoundTrip) {
+  DeploymentPlan plan = MakePlan();
+  std::ostringstream os;
+  ASSERT_TRUE(WriteDeploymentPlan(plan, os).ok());
+  std::istringstream is(os.str());
+  auto parsed = ReadDeploymentPlan(is);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->replication_factor, 3);
+  EXPECT_DOUBLE_EQ(parsed->sla_fraction, 0.999);
+  ASSERT_EQ(parsed->groups.size(), 2u);
+  EXPECT_EQ(parsed->groups[0].cluster.mppdb_nodes,
+            (std::vector<int>{6, 4, 4}));
+  ASSERT_EQ(parsed->groups[0].tenants.size(), 2u);
+  const TenantSpec& t = parsed->groups[0].tenants[1];
+  EXPECT_EQ(t.id, 11);
+  EXPECT_EQ(t.requested_nodes, 4);
+  EXPECT_DOUBLE_EQ(t.data_gb, 400);
+  EXPECT_EQ(t.suite, QuerySuite::kTpcds);
+  EXPECT_EQ(t.time_zone_offset_hours, 16);
+  EXPECT_EQ(t.max_users, 5);
+  EXPECT_EQ(parsed->TotalNodesUsed(), plan.TotalNodesUsed());
+  EXPECT_EQ(parsed->TotalNodesRequested(), plan.TotalNodesRequested());
+}
+
+TEST(PlanIoTest, RejectsMissingHeader) {
+  std::istringstream is("replication 3\nsla 0.999\nend\n");
+  EXPECT_EQ(ReadDeploymentPlan(is).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanIoTest, RejectsMissingEnd) {
+  std::istringstream is("thrifty-plan v1\nreplication 3\nsla 0.999\n");
+  EXPECT_EQ(ReadDeploymentPlan(is).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanIoTest, RejectsTenantBeforeGroup) {
+  std::istringstream is(
+      "thrifty-plan v1\nreplication 3\nsla 0.999\n"
+      "tenant 1 nodes 2 data_gb 200 suite TPCH tz 0 users 1\nend\n");
+  EXPECT_EQ(ReadDeploymentPlan(is).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanIoTest, RejectsBadValues) {
+  const char* cases[] = {
+      "thrifty-plan v1\nreplication 0\nsla 0.999\nend\n",
+      "thrifty-plan v1\nreplication 3\nsla 1.5\nend\n",
+      "thrifty-plan v1\nreplication 3\nsla 0.999\ngroup 0 mppdbs\nend\n",
+      "thrifty-plan v1\nreplication 3\nsla 0.999\ngroup 0 mppdbs 4\n"
+      "tenant 1 nodes 2 data_gb 200 suite NOPE tz 0 users 1\nend\n",
+      "thrifty-plan v1\nreplication 3\nsla 0.999\nbogus\nend\n",
+      // group with no tenants
+      "thrifty-plan v1\nreplication 3\nsla 0.999\ngroup 0 mppdbs 4\nend\n",
+  };
+  for (const char* text : cases) {
+    std::istringstream is(text);
+    EXPECT_EQ(ReadDeploymentPlan(is).status().code(),
+              StatusCode::kInvalidArgument)
+        << text;
+  }
+}
+
+TEST(PlanIoTest, LoadedPlanDeploysIdentically) {
+  // A plan surviving serialization must deploy to the same cluster shape.
+  DeploymentPlan plan = MakePlan();
+  std::ostringstream os;
+  ASSERT_TRUE(WriteDeploymentPlan(plan, os).ok());
+  std::istringstream is(os.str());
+  auto loaded = ReadDeploymentPlan(is);
+  ASSERT_TRUE(loaded.ok());
+
+  SimEngine engine;
+  Cluster cluster(static_cast<int>(loaded->TotalNodesUsed()), &engine);
+  QueryRouter router;
+  DeploymentMaster master(&cluster, &router);
+  auto deployed = master.Deploy(*loaded);
+  ASSERT_TRUE(deployed.ok()) << deployed.status();
+  EXPECT_EQ(cluster.nodes_in_use(), plan.TotalNodesUsed());
+  // Tenant 11's data landed on all of its group's MPPDBs.
+  for (MppdbInstance* instance : (*deployed)[0].instances) {
+    EXPECT_TRUE(instance->HostsTenant(11));
+  }
+  EXPECT_TRUE(router.Route(12).ok());
+}
+
+TEST(PlanIoTest, EmptyPlanRoundTrips) {
+  DeploymentPlan plan;
+  plan.replication_factor = 2;
+  plan.sla_fraction = 0.99;
+  std::ostringstream os;
+  ASSERT_TRUE(WriteDeploymentPlan(plan, os).ok());
+  std::istringstream is(os.str());
+  auto parsed = ReadDeploymentPlan(is);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->groups.empty());
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,110 @@
+#include "workload/tenant_population.h"
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+TEST(PopulationTest, GeneratesRequestedCount) {
+  PopulationOptions options;
+  Rng rng(1);
+  auto result = GenerateTenantPopulation(100, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 100u);
+  for (size_t i = 0; i < result->size(); ++i) {
+    EXPECT_EQ((*result)[i].id, static_cast<TenantId>(i));
+  }
+}
+
+TEST(PopulationTest, SizesComeFromAllowedSet) {
+  PopulationOptions options;
+  Rng rng(2);
+  auto result = GenerateTenantPopulation(500, options, &rng);
+  ASSERT_TRUE(result.ok());
+  for (const auto& t : *result) {
+    bool allowed = false;
+    for (int s : options.node_sizes) allowed |= (t.requested_nodes == s);
+    EXPECT_TRUE(allowed) << t.requested_nodes;
+    EXPECT_DOUBLE_EQ(t.data_gb, 100.0 * t.requested_nodes);
+    EXPECT_GE(t.max_users, 1);
+    EXPECT_LE(t.max_users, 5);
+  }
+}
+
+TEST(PopulationTest, ZipfSkewsTowardSmallTenants) {
+  PopulationOptions options;
+  options.zipf_theta = 0.8;
+  Rng rng(3);
+  auto result = GenerateTenantPopulation(5000, options, &rng);
+  ASSERT_TRUE(result.ok());
+  auto histogram = TenantSizeHistogram(*result);
+  // Fig 5.2-style: counts decrease with size.
+  EXPECT_GT(histogram[2], histogram[4]);
+  EXPECT_GT(histogram[4], histogram[8]);
+  EXPECT_GT(histogram[8], histogram[16]);
+  EXPECT_GT(histogram[16], histogram[32]);
+}
+
+TEST(PopulationTest, LowThetaIsFlatterThanHighTheta) {
+  PopulationOptions flat_options, skew_options;
+  flat_options.zipf_theta = 0.1;
+  skew_options.zipf_theta = 0.99;
+  Rng rng1(4), rng2(4);
+  auto flat = GenerateTenantPopulation(5000, flat_options, &rng1);
+  auto skew = GenerateTenantPopulation(5000, skew_options, &rng2);
+  ASSERT_TRUE(flat.ok() && skew.ok());
+  auto hflat = TenantSizeHistogram(*flat);
+  auto hskew = TenantSizeHistogram(*skew);
+  EXPECT_GT(hskew[2], hflat[2]);
+  EXPECT_LT(hskew[32], hflat[32]);
+}
+
+TEST(PopulationTest, SuitesRoughlyBalanced) {
+  PopulationOptions options;
+  Rng rng(5);
+  auto result = GenerateTenantPopulation(2000, options, &rng);
+  ASSERT_TRUE(result.ok());
+  int tpch = 0;
+  for (const auto& t : *result) tpch += t.suite == QuerySuite::kTpch ? 1 : 0;
+  EXPECT_NEAR(tpch / 2000.0, 0.5, 0.05);
+}
+
+TEST(PopulationTest, TotalRequestedNodes) {
+  std::vector<TenantSpec> tenants(3);
+  tenants[0].requested_nodes = 2;
+  tenants[1].requested_nodes = 4;
+  tenants[2].requested_nodes = 32;
+  EXPECT_EQ(TotalRequestedNodes(tenants), 38);
+}
+
+TEST(PopulationTest, RejectsBadOptions) {
+  Rng rng(6);
+  PopulationOptions no_sizes;
+  no_sizes.node_sizes.clear();
+  EXPECT_EQ(GenerateTenantPopulation(5, no_sizes, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+  PopulationOptions bad_users;
+  bad_users.min_users = 3;
+  bad_users.max_users = 1;
+  EXPECT_EQ(GenerateTenantPopulation(5, bad_users, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+  PopulationOptions ok;
+  EXPECT_EQ(GenerateTenantPopulation(-1, ok, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PopulationTest, DeterministicFromSeed) {
+  PopulationOptions options;
+  Rng a(7), b(7);
+  auto ra = GenerateTenantPopulation(50, options, &a);
+  auto rb = GenerateTenantPopulation(50, options, &b);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  for (size_t i = 0; i < ra->size(); ++i) {
+    EXPECT_EQ((*ra)[i].requested_nodes, (*rb)[i].requested_nodes);
+    EXPECT_EQ((*ra)[i].suite, (*rb)[i].suite);
+    EXPECT_EQ((*ra)[i].max_users, (*rb)[i].max_users);
+  }
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,103 @@
+#include "scaling/proactive.h"
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+TEST(TrendPredictorTest, NeedsMinimumSamples) {
+  RtTtpTrendPredictor predictor;
+  predictor.AddSample(0, 1.0);
+  predictor.AddSample(kHour, 0.99);
+  EXPECT_EQ(predictor.SlopePerHour().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(predictor.PredictsBreach(0.999, kHour, 2 * kHour).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TrendPredictorTest, FitsLinearDeclineExactly) {
+  RtTtpTrendPredictor predictor;
+  // RT-TTP drops 0.002 per hour.
+  for (int h = 0; h < 8; ++h) {
+    predictor.AddSample(h * kHour, 1.0 - 0.002 * h);
+  }
+  auto slope = predictor.SlopePerHour();
+  ASSERT_TRUE(slope.ok());
+  EXPECT_NEAR(*slope, -0.002, 1e-9);
+  auto at_10h = predictor.PredictAt(10 * kHour);
+  ASSERT_TRUE(at_10h.ok());
+  EXPECT_NEAR(*at_10h, 1.0 - 0.02, 1e-9);
+}
+
+TEST(TrendPredictorTest, PredictsBreachWithinLead) {
+  RtTtpTrendPredictor predictor;
+  // 0.9995 falling by 0.0005/h crosses P = 0.999 quickly.
+  for (int h = 0; h < 8; ++h) {
+    predictor.AddSample(h * kHour, 0.9999 - 0.0005 * h);
+  }
+  auto soon = predictor.PredictsBreach(0.999, 4 * kHour, 7 * kHour);
+  ASSERT_TRUE(soon.ok());
+  EXPECT_TRUE(*soon);
+  // A flat/improving series never predicts a breach.
+  RtTtpTrendPredictor flat;
+  for (int h = 0; h < 8; ++h) flat.AddSample(h * kHour, 0.9995);
+  auto never = flat.PredictsBreach(0.999, 100 * kHour, 7 * kHour);
+  ASSERT_TRUE(never.ok());
+  EXPECT_FALSE(*never);
+}
+
+TEST(TrendPredictorTest, SpikeGuardRejectsSingleDip) {
+  // §5.1's caveat: a sharp drop followed by a sharp rise must not trigger.
+  RtTtpTrendPredictor predictor;
+  predictor.AddSample(0 * kHour, 1.0);
+  predictor.AddSample(1 * kHour, 1.0);
+  predictor.AddSample(2 * kHour, 0.95);  // spike
+  predictor.AddSample(3 * kHour, 1.0);   // recovered
+  predictor.AddSample(4 * kHour, 1.0);
+  predictor.AddSample(5 * kHour, 1.0);
+  predictor.AddSample(6 * kHour, 0.9993);
+  auto breach = predictor.PredictsBreach(0.999, 24 * kHour, 6 * kHour);
+  ASSERT_TRUE(breach.ok());
+  EXPECT_FALSE(*breach);
+}
+
+TEST(TrendPredictorTest, SustainedDeclinePassesGuard) {
+  RtTtpTrendPredictor predictor;
+  double value = 1.0;
+  for (int h = 0; h < 10; ++h) {
+    predictor.AddSample(h * kHour, value);
+    value -= 0.0004;
+  }
+  auto breach = predictor.PredictsBreach(0.999, 12 * kHour, 9 * kHour);
+  ASSERT_TRUE(breach.ok());
+  EXPECT_TRUE(*breach);
+}
+
+TEST(TrendPredictorTest, WindowSlidesOldSamplesOut) {
+  TrendPredictorOptions options;
+  options.window_samples = 4;
+  options.min_samples = 3;
+  RtTtpTrendPredictor predictor(options);
+  // Old rising samples age out; recent decline dominates.
+  for (int h = 0; h < 10; ++h) predictor.AddSample(h * kHour, 0.5);
+  for (int h = 10; h < 14; ++h) {
+    predictor.AddSample(h * kHour, 1.0 - 0.001 * (h - 10));
+  }
+  EXPECT_EQ(predictor.sample_count(), 4u);
+  auto slope = predictor.SlopePerHour();
+  ASSERT_TRUE(slope.ok());
+  EXPECT_NEAR(*slope, -0.001, 1e-9);
+}
+
+TEST(TrendPredictorTest, PredictionClampedToUnitInterval) {
+  RtTtpTrendPredictor predictor;
+  for (int h = 0; h < 8; ++h) {
+    predictor.AddSample(h * kHour, 1.0 - 0.1 * h);
+  }
+  auto far = predictor.PredictAt(100 * kHour);
+  ASSERT_TRUE(far.ok());
+  EXPECT_EQ(*far, 0.0);
+}
+
+}  // namespace
+}  // namespace thrifty

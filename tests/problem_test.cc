@@ -1,0 +1,147 @@
+#include "placement/problem.h"
+
+#include <gtest/gtest.h>
+
+#include "fig51_fixture.h"
+
+namespace thrifty {
+namespace {
+
+using testing_fixtures::Fig51Activities;
+using testing_fixtures::kFig51Epochs;
+
+class ProblemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    activities_ = Fig51Activities();
+    for (size_t i = 0; i < activities_.size(); ++i) {
+      TenantSpec spec;
+      spec.id = static_cast<TenantId>(i + 1);
+      spec.requested_nodes = 4;
+      spec.data_gb = 400;
+      tenants_.push_back(spec);
+    }
+  }
+
+  PackingProblem MakeProblem(int r = 3, double p = 0.999) {
+    auto result = MakePackingProblem(tenants_, activities_, r, p);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return *result;
+  }
+
+  std::vector<ActivityVector> activities_;
+  std::vector<TenantSpec> tenants_;
+};
+
+TEST_F(ProblemTest, MakeProblemMatchesTenantsToVectors) {
+  PackingProblem problem = MakeProblem();
+  ASSERT_EQ(problem.items.size(), 6u);
+  EXPECT_EQ(problem.num_epochs, kFig51Epochs);
+  EXPECT_EQ(problem.TotalRequestedNodes(), 24);
+  for (const auto& item : problem.items) {
+    EXPECT_EQ(item.activity->tenant_id(), item.tenant_id);
+  }
+}
+
+TEST_F(ProblemTest, MakeProblemFailsWithoutVector) {
+  TenantSpec extra;
+  extra.id = 99;
+  extra.requested_nodes = 2;
+  tenants_.push_back(extra);
+  auto result = MakePackingProblem(tenants_, activities_, 3, 0.999);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProblemTest, ValidateRejectsBadParameters) {
+  PackingProblem problem = MakeProblem();
+  problem.replication_factor = 0;
+  EXPECT_FALSE(problem.Validate().ok());
+  problem.replication_factor = 3;
+  problem.sla_fraction = 0;
+  EXPECT_FALSE(problem.Validate().ok());
+  problem.sla_fraction = 1.5;
+  EXPECT_FALSE(problem.Validate().ok());
+  problem.sla_fraction = 0.999;
+  EXPECT_TRUE(problem.Validate().ok());
+}
+
+TEST_F(ProblemTest, ValidateRejectsDuplicateTenants) {
+  PackingProblem problem = MakeProblem();
+  problem.items.push_back(problem.items[0]);
+  EXPECT_EQ(problem.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProblemTest, VerifyAcceptsFeasibleSolution) {
+  PackingProblem problem = MakeProblem();
+  GroupingSolution solution;
+  TenantGroupResult g1;
+  g1.tenant_ids = {2, 3, 4, 5, 6};
+  g1.max_nodes = 4;
+  TenantGroupResult g2;
+  g2.tenant_ids = {1};
+  g2.max_nodes = 4;
+  solution.groups = {g1, g2};
+  EXPECT_TRUE(VerifySolution(problem, solution).ok());
+}
+
+TEST_F(ProblemTest, VerifyRejectsInfeasibleGroup) {
+  PackingProblem problem = MakeProblem(/*r=*/3, /*p=*/0.999);
+  GroupingSolution solution;
+  TenantGroupResult g;
+  g.tenant_ids = {1, 2, 3, 4, 5, 6};  // all six: TTP(3) = 0.9 < 0.999
+  g.max_nodes = 4;
+  solution.groups = {g};
+  EXPECT_EQ(VerifySolution(problem, solution).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProblemTest, VerifyRejectsMissingOrDuplicateTenants) {
+  PackingProblem problem = MakeProblem();
+  GroupingSolution missing;
+  TenantGroupResult g;
+  g.tenant_ids = {1, 2};
+  g.max_nodes = 4;
+  missing.groups = {g};
+  EXPECT_FALSE(VerifySolution(problem, missing).ok());
+
+  GroupingSolution duplicate;
+  TenantGroupResult g1, g2;
+  g1.tenant_ids = {1, 2, 3};
+  g1.max_nodes = 4;
+  g2.tenant_ids = {3, 4, 5, 6};
+  g2.max_nodes = 4;
+  duplicate.groups = {g1, g2};
+  EXPECT_FALSE(VerifySolution(problem, duplicate).ok());
+}
+
+TEST_F(ProblemTest, AnnotateFillsStats) {
+  PackingProblem problem = MakeProblem();
+  GroupingSolution solution;
+  TenantGroupResult g;
+  g.tenant_ids = {2, 3, 4, 5, 6};
+  solution.groups = {g};
+  TenantGroupResult g2;
+  g2.tenant_ids = {1};
+  solution.groups.push_back(g2);
+  ASSERT_TRUE(AnnotateSolution(problem, &solution).ok());
+  EXPECT_EQ(solution.groups[0].max_nodes, 4);
+  EXPECT_EQ(solution.groups[0].max_active, 3);
+  EXPECT_DOUBLE_EQ(solution.groups[0].ttp, 1.0);
+  EXPECT_EQ(solution.groups[1].max_active, 1);
+}
+
+TEST_F(ProblemTest, SolutionCostAndEffectiveness) {
+  GroupingSolution solution;
+  TenantGroupResult g1, g2;
+  g1.tenant_ids = {1, 2, 3};
+  g1.max_nodes = 4;
+  g2.tenant_ids = {4, 5};
+  g2.max_nodes = 8;
+  solution.groups = {g1, g2};
+  EXPECT_EQ(solution.NodesUsed(3), 3 * 4 + 3 * 8);
+  EXPECT_DOUBLE_EQ(solution.ConsolidationEffectiveness(3, 100), 1.0 - 0.36);
+  EXPECT_DOUBLE_EQ(solution.AverageGroupSize(), 2.5);
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,85 @@
+#include "mppdb/provisioning.h"
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+// Table 5.1 of the paper: the model must reproduce the measured start and
+// bulk-load times within a 10% band.
+struct Table51Row {
+  int nodes;
+  double data_gb;
+  double start_seconds;
+  double load_seconds;
+};
+
+constexpr Table51Row kTable51[] = {
+    {2, 200, 462, 10172},  {4, 400, 850, 20302},   {6, 600, 1248, 30121},
+    {8, 800, 1504, 40853}, {10, 1000, 1779, 50446},
+};
+
+class Table51Sweep : public ::testing::TestWithParam<Table51Row> {};
+
+TEST_P(Table51Sweep, StartTimeWithinTenPercent) {
+  const Table51Row& row = GetParam();
+  ProvisioningModel model;
+  double modeled = DurationToSeconds(model.NodeStartTime(row.nodes));
+  EXPECT_NEAR(modeled, row.start_seconds, row.start_seconds * 0.10)
+      << row.nodes << " nodes";
+}
+
+TEST_P(Table51Sweep, LoadTimeWithinTenPercent) {
+  const Table51Row& row = GetParam();
+  ProvisioningModel model;
+  double modeled = DurationToSeconds(model.BulkLoadTime(row.data_gb));
+  EXPECT_NEAR(modeled, row.load_seconds, row.load_seconds * 0.10)
+      << row.data_gb << " GB";
+}
+
+INSTANTIATE_TEST_SUITE_P(Table51, Table51Sweep, ::testing::ValuesIn(kTable51));
+
+TEST(ProvisioningTest, LoadDominatesStart) {
+  // The §5.1 premise that motivates lightweight scaling: for any realistic
+  // tenant, data loading dwarfs node start-up.
+  ProvisioningModel model;
+  for (const auto& row : kTable51) {
+    EXPECT_GT(model.BulkLoadTime(row.data_gb),
+              5 * model.NodeStartTime(row.nodes));
+  }
+}
+
+TEST(ProvisioningTest, LoadRateAboutOnePointTwoGbPerMinute) {
+  ProvisioningModel model;
+  double seconds = DurationToSeconds(model.BulkLoadTime(1000));
+  double gb_per_minute = 1000 / (seconds / 60);
+  EXPECT_NEAR(gb_per_minute, 1.2, 0.1);
+}
+
+TEST(ProvisioningTest, ZeroDataLoadsInstantly) {
+  ProvisioningModel model;
+  EXPECT_EQ(model.BulkLoadTime(0), 0);
+}
+
+TEST(ProvisioningTest, TotalIsSum) {
+  ProvisioningModel model;
+  EXPECT_EQ(model.TotalPrepTime(10, 1000),
+            model.NodeStartTime(10) + model.BulkLoadTime(1000));
+}
+
+TEST(ProvisioningTest, TenNodeTerabytePrepTakesAbout14Hours) {
+  // §5.1: "Thrifty needs about 14.5 hours (50446s + 1779s) to prepare the
+  // new MPPDB".
+  ProvisioningModel model;
+  double hours = DurationToSeconds(model.TotalPrepTime(10, 1000)) / 3600;
+  EXPECT_NEAR(hours, 14.5, 1.0);
+}
+
+TEST(ProvisioningTest, MonotoneInNodesAndData) {
+  ProvisioningModel model;
+  EXPECT_LT(model.NodeStartTime(2), model.NodeStartTime(4));
+  EXPECT_LT(model.BulkLoadTime(100), model.BulkLoadTime(200));
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,201 @@
+#include "routing/query_router.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+
+namespace thrifty {
+namespace {
+
+// Harness with one tenant-group of three 4-node MPPDBs, mirroring the
+// Fig 4.2 setting (MPPDB_0 is the tuning MPPDB).
+class RouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (InstanceId id = 0; id < 3; ++id) {
+      auto instance = std::make_unique<MppdbInstance>(id, 4, &engine_);
+      for (TenantId t = 1; t <= 10; ++t) instance->AddTenant(t, 100);
+      instances_.push_back(std::move(instance));
+    }
+    router_ = std::make_unique<GroupRouter>(
+        0, std::vector<MppdbInstance*>{instances_[0].get(),
+                                       instances_[1].get(),
+                                       instances_[2].get()});
+  }
+
+  // Routes and actually submits, so instance busy-state evolves.
+  RouteDecision RouteAndSubmit(TenantId tenant, double work_seconds) {
+    auto decision = router_->Route(tenant);
+    EXPECT_TRUE(decision.ok()) << decision.status();
+    QueryTemplate tmpl;
+    tmpl.id = 0;
+    // DedicatedLatency = work * data(100 GB) * (1/4 nodes).
+    tmpl.work_seconds_per_gb = work_seconds * 4 / 100;
+    QuerySubmission s;
+    s.query_id = next_query_id_++;
+    s.tenant_id = tenant;
+    EXPECT_TRUE(decision->instance->Submit(s, tmpl).ok());
+    return *decision;
+  }
+
+  SimEngine engine_;
+  std::vector<std::unique_ptr<MppdbInstance>> instances_;
+  std::unique_ptr<GroupRouter> router_;
+  QueryId next_query_id_ = 0;
+};
+
+// The full Fig 4.2 walkthrough: queries Q1..Q8 of tenants T4, T2, T9, T1.
+TEST_F(RouterTest, Fig42Walkthrough) {
+  // t=0: T4 submits Q1 -> all free, MPPDB_0 (line 5).
+  RouteDecision q1 = RouteAndSubmit(4, 30);
+  EXPECT_EQ(q1.instance->id(), 0);
+  EXPECT_EQ(q1.kind, RouteKind::kTuningFree);
+
+  // t=10: T2 submits Q2 -> MPPDB_0 busy, MPPDB_1 free (line 8).
+  engine_.RunUntil(10 * kSecond);
+  RouteDecision q2 = RouteAndSubmit(2, 30);
+  EXPECT_EQ(q2.instance->id(), 1);
+  EXPECT_EQ(q2.kind, RouteKind::kOtherFree);
+
+  // t=20: T4 submits Q3 while Q1 runs -> follows to MPPDB_0 (line 2).
+  engine_.RunUntil(20 * kSecond);
+  RouteDecision q3 = RouteAndSubmit(4, 30);
+  EXPECT_EQ(q3.instance->id(), 0);
+  EXPECT_EQ(q3.kind, RouteKind::kTenantAffinity);
+
+  // t=30: T2 submits Q4 while Q2 runs -> follows to MPPDB_1 (line 2).
+  engine_.RunUntil(30 * kSecond);
+  RouteDecision q4 = RouteAndSubmit(2, 30);
+  EXPECT_EQ(q4.instance->id(), 1);
+  EXPECT_EQ(q4.kind, RouteKind::kTenantAffinity);
+
+  // t=40: T9 submits Q5 -> MPPDB_2 free (line 8).
+  engine_.RunUntil(40 * kSecond);
+  RouteDecision q5 = RouteAndSubmit(9, 200);
+  EXPECT_EQ(q5.instance->id(), 2);
+  EXPECT_EQ(q5.kind, RouteKind::kOtherFree);
+
+  // Q1/Q3 finish by t=60 (processor sharing: 30+30 s of work).
+  // t=80: T1 submits Q6 -> MPPDB_0 free again (line 5).
+  engine_.RunUntil(80 * kSecond);
+  ASSERT_TRUE(instances_[0]->IsFree());
+  RouteDecision q6 = RouteAndSubmit(1, 50);
+  EXPECT_EQ(q6.instance->id(), 0);
+  EXPECT_EQ(q6.kind, RouteKind::kTuningFree);
+
+  // t=90: T4 (now inactive) submits Q7 -> MPPDB_0 busy with T1, MPPDB_1
+  // free (Q2/Q4 done by t=70) -> MPPDB_1 (line 8).
+  engine_.RunUntil(90 * kSecond);
+  RouteDecision q7 = RouteAndSubmit(4, 100);
+  EXPECT_EQ(q7.instance->id(), 1);
+  EXPECT_EQ(q7.kind, RouteKind::kOtherFree);
+
+  // t=140: T1 submits Q8 after Q6 finished (T1 briefly inactive). MPPDB_1
+  // and MPPDB_2 are busy but MPPDB_0 is free -> MPPDB_0.
+  engine_.RunUntil(140 * kSecond);
+  ASSERT_TRUE(instances_[0]->IsFree());
+  ASSERT_FALSE(instances_[1]->IsFree());
+  ASSERT_FALSE(instances_[2]->IsFree());
+  RouteDecision q8 = RouteAndSubmit(1, 30);
+  EXPECT_EQ(q8.instance->id(), 0);
+  EXPECT_EQ(q8.kind, RouteKind::kTuningFree);
+
+  // t=150: a fourth tenant T5 submits while all three MPPDBs are busy ->
+  // overflow to MPPDB_0 for concurrent processing (line 10).
+  engine_.RunUntil(150 * kSecond);
+  RouteDecision q9 = RouteAndSubmit(5, 10);
+  EXPECT_EQ(q9.instance->id(), 0);
+  EXPECT_EQ(q9.kind, RouteKind::kOverflow);
+
+  // Routing counters saw every branch.
+  EXPECT_EQ(router_->counters().at(RouteKind::kTuningFree), 3);
+  EXPECT_EQ(router_->counters().at(RouteKind::kOtherFree), 3);
+  EXPECT_EQ(router_->counters().at(RouteKind::kTenantAffinity), 2);
+  EXPECT_EQ(router_->counters().at(RouteKind::kOverflow), 1);
+}
+
+TEST_F(RouterTest, DedicatedAssignmentOverridesEverything) {
+  auto dedicated = std::make_unique<MppdbInstance>(99, 4, &engine_);
+  dedicated->AddTenant(3, 100);
+  router_->AssignDedicated(3, dedicated.get());
+  EXPECT_TRUE(router_->HasDedicated(3));
+  auto decision = router_->Route(3);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->instance->id(), 99);
+  EXPECT_EQ(decision->kind, RouteKind::kDedicated);
+
+  router_->RemoveDedicated(3);
+  EXPECT_FALSE(router_->HasDedicated(3));
+  auto after = router_->Route(3);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->instance->id(), 0);
+}
+
+TEST_F(RouterTest, DedicatedInstanceNotOnlineFallsBack) {
+  auto dedicated = std::make_unique<MppdbInstance>(
+      99, 4, &engine_, InstanceState::kLoading);
+  router_->AssignDedicated(3, dedicated.get());
+  auto decision = router_->Route(3);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->instance->id(), 0);  // normal Algorithm 1 path
+}
+
+TEST_F(RouterTest, OfflineTuningMppdbSkipped) {
+  instances_[0]->SetState(InstanceState::kStopped);
+  auto decision = router_->Route(1);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->instance->id(), 1);
+  EXPECT_EQ(decision->kind, RouteKind::kOtherFree);
+}
+
+TEST_F(RouterTest, NoOnlineMppdbIsUnavailable) {
+  for (auto& instance : instances_) {
+    instance->SetState(InstanceState::kStopped);
+  }
+  EXPECT_EQ(router_->Route(1).status().code(), StatusCode::kUnavailable);
+}
+
+TEST(QueryRouterTest, RoutesByTenantGroupMembership) {
+  SimEngine engine;
+  MppdbInstance a(0, 2, &engine), b(1, 2, &engine);
+  a.AddTenant(1, 100);
+  b.AddTenant(2, 100);
+  QueryRouter router;
+  ASSERT_TRUE(router.AddGroup(0, {&a}, {1}).ok());
+  ASSERT_TRUE(router.AddGroup(1, {&b}, {2}).ok());
+  auto r1 = router.Route(1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->instance->id(), 0);
+  auto r2 = router.Route(2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->instance->id(), 1);
+  EXPECT_EQ(router.Route(3).status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueryRouterTest, RejectsDuplicateRegistrations) {
+  SimEngine engine;
+  MppdbInstance a(0, 2, &engine);
+  QueryRouter router;
+  ASSERT_TRUE(router.AddGroup(0, {&a}, {1}).ok());
+  EXPECT_EQ(router.AddGroup(0, {&a}, {5}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(router.AddGroup(1, {&a}, {1}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(router.AddGroup(2, {}, {7}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryRouterTest, RouterForLookups) {
+  SimEngine engine;
+  MppdbInstance a(0, 2, &engine);
+  QueryRouter router;
+  ASSERT_TRUE(router.AddGroup(5, {&a}, {1}).ok());
+  EXPECT_TRUE(router.RouterFor(1).ok());
+  EXPECT_EQ((*router.RouterFor(1))->group_id(), 5);
+  EXPECT_TRUE(router.RouterForGroup(5).ok());
+  EXPECT_FALSE(router.RouterFor(9).ok());
+  EXPECT_FALSE(router.RouterForGroup(9).ok());
+}
+
+}  // namespace
+}  // namespace thrifty

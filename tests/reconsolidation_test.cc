@@ -1,0 +1,148 @@
+#include "core/reconsolidation.h"
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+class ReconsolidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two deployed groups of 2-node tenants plus staggered histories.
+    plan_.replication_factor = 2;
+    plan_.sla_fraction = 0.99;
+    for (GroupId g = 0; g < 2; ++g) {
+      GroupDeployment group;
+      group.group_id = g;
+      for (int i = 0; i < 3; ++i) {
+        TenantSpec spec;
+        spec.id = g * 3 + i;
+        spec.requested_nodes = 2;
+        spec.data_gb = 200;
+        group.tenants.push_back(spec);
+        TenantLog log;
+        log.tenant_id = spec.id;
+        log.entries.push_back(
+            {spec.id * 2 * kHour, 0, 30 * kMinute, -1});
+        history_.push_back(log);
+      }
+      group.cluster.mppdb_nodes = {2, 2};
+      plan_.groups.push_back(group);
+    }
+    options_.replication_factor = 2;
+    options_.sla_fraction = 0.99;
+    options_.epoch_size = 5 * kMinute;
+  }
+
+  DeploymentPlan plan_;
+  std::vector<TenantLog> history_;
+  AdvisorOptions options_;
+};
+
+TEST_F(ReconsolidationTest, NothingAffectedKeepsEverything) {
+  ReconsolidationPlanner planner(options_);
+  ReconsolidationInput input;
+  input.current_plan = plan_;
+  auto output = planner.Plan(input, {}, 0, kDay);
+  ASSERT_TRUE(output.ok()) << output.status();
+  EXPECT_EQ(output->plan.groups.size(), 2u);
+  EXPECT_TRUE(output->regrouped_tenants.empty());
+  EXPECT_EQ(output->untouched_groups.size(), 2u);
+}
+
+TEST_F(ReconsolidationTest, ScaledGroupIsRegrouped) {
+  ReconsolidationPlanner planner(options_);
+  ReconsolidationInput input;
+  input.current_plan = plan_;
+  input.scaled_groups = {0};
+  auto output = planner.Plan(input, history_, 0, kDay);
+  ASSERT_TRUE(output.ok()) << output.status();
+  // Group 1 untouched; group 0's three tenants regrouped.
+  EXPECT_EQ(output->untouched_groups, (std::vector<GroupId>{1}));
+  EXPECT_EQ(output->regrouped_tenants.size(), 3u);
+  // All six tenants still placed.
+  size_t placed = 0;
+  for (const auto& group : output->plan.groups) placed += group.tenants.size();
+  EXPECT_EQ(placed, 6u);
+}
+
+TEST_F(ReconsolidationTest, DeregistrationShrinksItsGroup) {
+  ReconsolidationPlanner planner(options_);
+  ReconsolidationInput input;
+  input.current_plan = plan_;
+  input.deregistered = {4};  // member of group 1
+  auto output = planner.Plan(input, history_, 0, kDay);
+  ASSERT_TRUE(output.ok()) << output.status();
+  EXPECT_EQ(output->untouched_groups, (std::vector<GroupId>{0}));
+  size_t placed = 0;
+  for (const auto& group : output->plan.groups) {
+    for (const auto& t : group.tenants) {
+      EXPECT_NE(t.id, 4);
+      ++placed;
+    }
+  }
+  EXPECT_EQ(placed, 5u);
+}
+
+TEST_F(ReconsolidationTest, NewTenantsJoinTheCycle) {
+  ReconsolidationPlanner planner(options_);
+  ReconsolidationInput input;
+  input.current_plan = plan_;
+  TenantSpec fresh;
+  fresh.id = 100;
+  fresh.requested_nodes = 2;
+  fresh.data_gb = 200;
+  input.new_tenants = {fresh};
+  TenantLog fresh_log;
+  fresh_log.tenant_id = 100;
+  fresh_log.entries.push_back({20 * kHour, 0, 30 * kMinute, -1});
+  std::vector<TenantLog> history = history_;
+  history.push_back(fresh_log);
+  auto output = planner.Plan(input, history, 0, kDay);
+  ASSERT_TRUE(output.ok()) << output.status();
+  EXPECT_EQ(output->untouched_groups.size(), 2u);
+  bool found = false;
+  for (const auto& group : output->plan.groups) {
+    for (const auto& t : group.tenants) found |= (t.id == 100);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ReconsolidationTest, AlwaysActiveRegroupedTenantGetsDedicatedGroup) {
+  ReconsolidationPlanner planner(options_);
+  ReconsolidationInput input;
+  input.current_plan = plan_;
+  input.scaled_groups = {0};
+  // Tenant 1's recent history is around-the-clock activity.
+  std::vector<TenantLog> history = history_;
+  history[1].entries.clear();
+  history[1].entries.push_back({0, 0, kDay, -1});
+  auto output = planner.Plan(input, history, 0, kDay);
+  ASSERT_TRUE(output.ok()) << output.status();
+  bool dedicated_found = false;
+  for (const auto& group : output->plan.groups) {
+    if (group.tenants.size() == 1 && group.tenants[0].id == 1) {
+      dedicated_found = true;
+    }
+    for (const auto& t : group.tenants) {
+      if (t.id == 1) EXPECT_EQ(group.tenants.size(), 1u);
+    }
+  }
+  EXPECT_TRUE(dedicated_found);
+}
+
+TEST_F(ReconsolidationTest, ConflictingRegistrationRejected) {
+  ReconsolidationPlanner planner(options_);
+  ReconsolidationInput input;
+  input.current_plan = plan_;
+  TenantSpec fresh;
+  fresh.id = 100;
+  fresh.requested_nodes = 2;
+  input.new_tenants = {fresh};
+  input.deregistered = {100};
+  EXPECT_EQ(planner.Plan(input, history_, 0, kDay).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,123 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolFrequency) {
+  Rng rng(17);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) trues += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(trues / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    double v = rng.NextExponential(5.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000, 5.0, 0.25);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependentOfParentUse) {
+  Rng parent1(42);
+  Rng parent2(42);
+  // Consuming the parent must not change what a fork produces.
+  parent2.Next();
+  parent2.Next();
+  Rng child1 = parent1.Fork(5);
+  Rng child2 = parent2.Fork(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child1.Next(), child2.Next());
+}
+
+TEST(RngTest, ForksWithDifferentStreamsDiverge) {
+  Rng parent(42);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+class RngBoundedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundedSweep, MeanIsCentered) {
+  uint64_t bound = GetParam();
+  Rng rng(bound * 31 + 1);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.NextBounded(bound));
+  }
+  double expected = (static_cast<double>(bound) - 1) / 2;
+  EXPECT_NEAR(sum / n, expected, static_cast<double>(bound) * 0.02 + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundedSweep,
+                         ::testing::Values(2, 3, 7, 10, 64, 100, 1000,
+                                           123456));
+
+}  // namespace
+}  // namespace thrifty

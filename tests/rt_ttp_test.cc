@@ -1,0 +1,97 @@
+#include "scaling/rt_ttp_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+TEST(RtTtpTest, NoActivityIsPerfect) {
+  RtTtpMonitor monitor(3);
+  EXPECT_DOUBLE_EQ(monitor.RtTtp(25 * kHour), 1.0);
+  EXPECT_EQ(monitor.current_count(), 0);
+}
+
+TEST(RtTtpTest, CountsWithinThresholdKeepTtpAtOne) {
+  RtTtpMonitor monitor(3);
+  monitor.OnActiveCountChange(1 * kHour, 2);
+  monitor.OnActiveCountChange(2 * kHour, 3);
+  monitor.OnActiveCountChange(3 * kHour, 0);
+  EXPECT_DOUBLE_EQ(monitor.RtTtp(25 * kHour), 1.0);
+}
+
+TEST(RtTtpTest, TimeAboveThresholdReducesTtp) {
+  RtTtpMonitor monitor(3, 24 * kHour);
+  monitor.OnActiveCountChange(0, 4);            // above R
+  monitor.OnActiveCountChange(6 * kHour, 2);    // back below
+  // At now = 24 h: 6 of 24 hours above -> RT-TTP = 75%.
+  EXPECT_NEAR(monitor.RtTtp(24 * kHour), 0.75, 1e-9);
+}
+
+TEST(RtTtpTest, SlidingWindowForgetsOldBreaches) {
+  RtTtpMonitor monitor(3, 24 * kHour);
+  monitor.OnActiveCountChange(0, 5);
+  monitor.OnActiveCountChange(1 * kHour, 1);
+  // Breach fully inside window at t = 24 h.
+  EXPECT_NEAR(monitor.RtTtp(24 * kHour), 23.0 / 24, 1e-9);
+  // Half slid out at t = 24.5 h.
+  EXPECT_NEAR(monitor.RtTtp(24 * kHour + 30 * kMinute), 23.5 / 24, 1e-9);
+  // Fully slid out at t = 25 h.
+  EXPECT_NEAR(monitor.RtTtp(25 * kHour), 1.0, 1e-9);
+}
+
+TEST(RtTtpTest, OngoingBreachCountsUpToNow) {
+  RtTtpMonitor monitor(1, 10 * kHour);
+  monitor.OnActiveCountChange(0, 2);
+  // Still above threshold; at t = 5 h half the window (with pre-history as
+  // zero) is above.
+  EXPECT_NEAR(monitor.RtTtp(5 * kHour), 0.5, 1e-9);
+  EXPECT_EQ(monitor.current_count(), 2);
+}
+
+TEST(RtTtpTest, FractionAboveGeneralThreshold) {
+  RtTtpMonitor monitor(3, 10 * kHour);
+  monitor.OnActiveCountChange(0, 1);
+  monitor.OnActiveCountChange(2 * kHour, 2);
+  monitor.OnActiveCountChange(4 * kHour, 0);
+  SimTime now = 10 * kHour;
+  EXPECT_NEAR(monitor.FractionAbove(now, 0), 0.4, 1e-9);
+  EXPECT_NEAR(monitor.FractionAbove(now, 1), 0.2, 1e-9);
+  EXPECT_NEAR(monitor.FractionAbove(now, 2), 0.0, 1e-9);
+}
+
+TEST(RtTtpTest, RedundantUpdatesCollapse) {
+  RtTtpMonitor monitor(2, 10 * kHour);
+  monitor.OnActiveCountChange(1 * kHour, 3);
+  monitor.OnActiveCountChange(2 * kHour, 3);  // no change
+  monitor.OnActiveCountChange(3 * kHour, 1);
+  EXPECT_NEAR(monitor.FractionAbove(10 * kHour, 2), 0.2, 1e-9);
+}
+
+TEST(RtTtpTest, SameTimestampRewrite) {
+  RtTtpMonitor monitor(2, 10 * kHour);
+  monitor.OnActiveCountChange(1 * kHour, 3);
+  monitor.OnActiveCountChange(1 * kHour, 1);  // transition at same instant
+  EXPECT_NEAR(monitor.RtTtp(10 * kHour), 1.0, 1e-9);
+  EXPECT_EQ(monitor.current_count(), 1);
+}
+
+TEST(RtTtpTest, PruningKeepsStraddlingSegment) {
+  RtTtpMonitor monitor(0, 1 * kHour);
+  // A long-past segment that still covers the window start must survive.
+  monitor.OnActiveCountChange(0, 1);
+  for (int h = 1; h <= 50; ++h) {
+    monitor.OnActiveCountChange(h * kHour, h % 2 == 0 ? 1 : 2);
+  }
+  // Whole window above threshold 0 regardless of pruning.
+  EXPECT_NEAR(monitor.FractionAbove(50 * kHour + 30 * kMinute, 0), 1.0, 1e-9);
+}
+
+TEST(RtTtpTest, ThePaper43MinuteGracePeriodExample) {
+  // §5.1: at P = 99.9%, one month gives ~43 minutes of grace period.
+  double month_ms = 30.0 * kDay;
+  double grace_minutes = month_ms * 0.001 / kMinute;
+  EXPECT_NEAR(grace_minutes, 43.2, 0.5);
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,159 @@
+#include "workload/session.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace thrifty {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  QueryCatalog catalog_ = QueryCatalog::Default();
+};
+
+TEST_F(SessionTest, ProducesSortedNonEmptyLog) {
+  SessionSimulator sim(&catalog_);
+  Rng rng(1);
+  TenantLog log = sim.Run(4, 400, QuerySuite::kTpch, 3, &rng);
+  ASSERT_FALSE(log.entries.empty());
+  for (size_t i = 1; i < log.entries.size(); ++i) {
+    EXPECT_LE(log.entries[i - 1].submit_time, log.entries[i].submit_time);
+  }
+}
+
+TEST_F(SessionTest, AllLatenciesPositiveAndTemplatesFromSuite) {
+  SessionSimulator sim(&catalog_);
+  Rng rng(2);
+  TenantLog log = sim.Run(2, 200, QuerySuite::kTpcds, 2, &rng);
+  for (const auto& e : log.entries) {
+    EXPECT_GT(e.observed_latency, 0);
+    EXPECT_EQ(catalog_.Get(e.template_id).name.rfind("TPCDS", 0), 0u);
+  }
+}
+
+TEST_F(SessionTest, SubmissionsStayWithinSessionDuration) {
+  SessionOptions options;
+  SessionSimulator sim(&catalog_, options);
+  Rng rng(3);
+  TenantLog log = sim.Run(4, 400, QuerySuite::kTpch, 5, &rng);
+  for (const auto& e : log.entries) {
+    EXPECT_LT(e.submit_time, options.duration);
+    EXPECT_GE(e.submit_time, 0);
+  }
+}
+
+TEST_F(SessionTest, DeterministicFromSeed) {
+  SessionSimulator sim(&catalog_);
+  Rng rng1(42), rng2(42);
+  TenantLog a = sim.Run(8, 800, QuerySuite::kTpch, 3, &rng1);
+  TenantLog b = sim.Run(8, 800, QuerySuite::kTpch, 3, &rng2);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].submit_time, b.entries[i].submit_time);
+    EXPECT_EQ(a.entries[i].template_id, b.entries[i].template_id);
+    EXPECT_EQ(a.entries[i].observed_latency, b.entries[i].observed_latency);
+  }
+}
+
+TEST_F(SessionTest, BatchEntriesShareSubmitTimeAndBatchId) {
+  SessionOptions options;
+  options.batch_probability = 1.0;  // force batches
+  options.min_batch_queries = 3;
+  options.max_batch_queries = 3;
+  SessionSimulator sim(&catalog_, options);
+  Rng rng(5);
+  TenantLog log = sim.Run(2, 200, QuerySuite::kTpch, 1, &rng);
+  ASSERT_GE(log.entries.size(), 3u);
+  std::map<int32_t, std::vector<const QueryLogEntry*>> batches;
+  for (const auto& e : log.entries) {
+    ASSERT_NE(e.batch_id, -1);  // everything is a batch
+    batches[e.batch_id].push_back(&e);
+  }
+  for (const auto& [id, entries] : batches) {
+    EXPECT_EQ(entries.size(), 3u) << "batch " << id;
+    for (const auto* e : entries) {
+      EXPECT_EQ(e->submit_time, entries[0]->submit_time);
+    }
+  }
+}
+
+TEST_F(SessionTest, SingleQueriesHaveNoBatchId) {
+  SessionOptions options;
+  options.batch_probability = 0.0;  // force singles
+  SessionSimulator sim(&catalog_, options);
+  Rng rng(6);
+  TenantLog log = sim.Run(2, 200, QuerySuite::kTpch, 1, &rng);
+  for (const auto& e : log.entries) EXPECT_EQ(e.batch_id, -1);
+}
+
+TEST_F(SessionTest, SingleUserActionsAreSerializedWithThinkTime) {
+  SessionOptions options;
+  options.batch_probability = 0.0;
+  SessionSimulator sim(&catalog_, options);
+  Rng rng(7);
+  TenantLog log = sim.Run(2, 200, QuerySuite::kTpch, 1, &rng);
+  ASSERT_GE(log.entries.size(), 2u);
+  for (size_t i = 1; i < log.entries.size(); ++i) {
+    const auto& prev = log.entries[i - 1];
+    const auto& cur = log.entries[i];
+    // Next action starts only after the previous query finished plus at
+    // least the minimum think time (3 s).
+    EXPECT_GE(cur.submit_time,
+              prev.submit_time + prev.observed_latency +
+                  options.min_think_seconds * kSecond);
+  }
+}
+
+TEST_F(SessionTest, MoreUsersProduceMoreQueries) {
+  SessionSimulator sim(&catalog_);
+  RunningStats one, five;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng r1(seed * 2 + 1), r5(seed * 2 + 2);
+    one.Add(static_cast<double>(
+        sim.Run(4, 400, QuerySuite::kTpch, 1, &r1).entries.size()));
+    five.Add(static_cast<double>(
+        sim.Run(4, 400, QuerySuite::kTpch, 5, &r5).entries.size()));
+  }
+  EXPECT_GT(five.Mean(), one.Mean() * 2);
+}
+
+TEST_F(SessionTest, ParticipationIsAtMostS) {
+  // "Each tenant has at most S autonomous users": with participation 0 the
+  // session degenerates to exactly one user; with participation 1 all S
+  // show up (query volume scales accordingly).
+  SessionOptions solo;
+  solo.user_participation = 0.0;
+  SessionOptions full;
+  full.user_participation = 1.0;
+  RunningStats solo_queries, full_queries;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng r1(seed + 100), r2(seed + 100);
+    solo_queries.Add(static_cast<double>(
+        SessionSimulator(&catalog_, solo)
+            .Run(4, 400, QuerySuite::kTpch, 5, &r1)
+            .entries.size()));
+    full_queries.Add(static_cast<double>(
+        SessionSimulator(&catalog_, full)
+            .Run(4, 400, QuerySuite::kTpch, 5, &r2)
+            .entries.size()));
+  }
+  EXPECT_GT(full_queries.Mean(), solo_queries.Mean() * 3);
+  EXPECT_GT(solo_queries.Mean(), 0);
+}
+
+TEST_F(SessionTest, ActivityIntervalsCoverageIsPlausible) {
+  SessionSimulator sim(&catalog_);
+  Rng rng(8);
+  TenantLog log = sim.Run(4, 400, QuerySuite::kTpch, 3, &rng);
+  double ratio = log.ActiveRatio(0, 3 * kHour);
+  // In-session duty cycle should be substantial but far from saturated.
+  EXPECT_GT(ratio, 0.10);
+  EXPECT_LT(ratio, 0.95);
+}
+
+}  // namespace
+}  // namespace thrifty

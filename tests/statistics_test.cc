@@ -1,0 +1,93 @@
+#include "workload/statistics.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+TenantLog MakeLog() {
+  TenantLog log;
+  log.tenant_id = 7;
+  // Two singles and a 2-query batch; activity [0,60) + [100,160)+[100,130).
+  log.entries.push_back({0, 1, 60 * kSecond, -1});
+  log.entries.push_back({100 * kSecond, 2, 60 * kSecond, 5});
+  log.entries.push_back({100 * kSecond, 3, 30 * kSecond, 5});
+  log.entries.push_back({400 * kSecond, 4, 20 * kSecond, -1});
+  return log;
+}
+
+TEST(StatisticsTest, TenantSummaryCounts) {
+  auto summary = SummarizeTenantLog(MakeLog(), 0, 1000 * kSecond);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->tenant_id, 7);
+  EXPECT_EQ(summary->queries, 4u);
+  EXPECT_EQ(summary->batches, 1u);
+  EXPECT_DOUBLE_EQ(summary->batch_query_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(summary->latency_seconds.Mean(), (60 + 60 + 30 + 20) / 4.0);
+  // Active: [0,60) + [100,160) + [400,420) = 140 s of 1000 s.
+  EXPECT_DOUBLE_EQ(summary->active_ratio, 0.14);
+  EXPECT_DOUBLE_EQ(summary->longest_active_stretch_seconds, 60);
+  EXPECT_NEAR(summary->queries_per_active_hour, 4 / (140.0 / 3600), 1e-9);
+}
+
+TEST(StatisticsTest, WindowFiltersEntries) {
+  auto summary =
+      SummarizeTenantLog(MakeLog(), 50 * kSecond, 200 * kSecond);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->queries, 2u);  // only the batch
+  // Active within [50,200): [50,60) + [100,160) = 70 of 150 s.
+  EXPECT_NEAR(summary->active_ratio, 70.0 / 150, 1e-9);
+}
+
+TEST(StatisticsTest, EmptyWindowRejected) {
+  EXPECT_FALSE(SummarizeTenantLog(MakeLog(), 10, 10).ok());
+}
+
+TEST(StatisticsTest, WorkloadAggregation) {
+  std::vector<TenantLog> logs = {MakeLog()};
+  TenantLog quiet;
+  quiet.tenant_id = 8;
+  quiet.entries.push_back({0, 1, 10 * kSecond, -1});
+  logs.push_back(quiet);
+  auto summary = SummarizeWorkload(logs, 0, 1000 * kSecond);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->tenants.size(), 2u);
+  EXPECT_EQ(summary->total_queries, 5u);
+  EXPECT_EQ(summary->latency_seconds.count(), 5u);
+  EXPECT_NEAR(summary->tenant_active_ratio.Mean(), (0.14 + 0.01) / 2, 1e-9);
+  EXPECT_TRUE(summary->active_ratio_by_size.empty());
+}
+
+TEST(StatisticsTest, PerSizeAggregationNeedsSpecs) {
+  std::vector<TenantLog> logs = {MakeLog()};
+  std::vector<TenantSpec> specs(1);
+  specs[0].id = 7;
+  specs[0].requested_nodes = 4;
+  auto summary = SummarizeWorkload(logs, 0, 1000 * kSecond, &specs);
+  ASSERT_TRUE(summary.ok());
+  ASSERT_EQ(summary->active_ratio_by_size.size(), 1u);
+  EXPECT_NEAR(summary->active_ratio_by_size.at(4).Mean(), 0.14, 1e-9);
+
+  // Missing spec is an error.
+  specs[0].id = 99;
+  EXPECT_FALSE(SummarizeWorkload(logs, 0, 1000 * kSecond, &specs).ok());
+}
+
+TEST(StatisticsTest, PrintMentionsKeyNumbers) {
+  std::vector<TenantLog> logs = {MakeLog()};
+  std::vector<TenantSpec> specs(1);
+  specs[0].id = 7;
+  specs[0].requested_nodes = 4;
+  auto summary = SummarizeWorkload(logs, 0, 1000 * kSecond, &specs);
+  ASSERT_TRUE(summary.ok());
+  std::ostringstream os;
+  PrintWorkloadSummary(*summary, os);
+  EXPECT_NE(os.str().find("4 queries"), std::string::npos);
+  EXPECT_NE(os.str().find("4-node"), std::string::npos);
+  EXPECT_NE(os.str().find("14.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,73 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace thrifty {
+namespace {
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), 0);
+  EXPECT_EQ(s.Variance(), 0);
+  EXPECT_EQ(s.min(), 0);
+  EXPECT_EQ(s.max(), 0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.5);
+  EXPECT_EQ(s.Variance(), 0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  std::vector<double> values = {2, 4, 4, 4, 5, 5, 7, 9};
+  RunningStats s;
+  for (double v : values) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.Variance(), 32.0 / 7, 1e-12);
+  EXPECT_NEAR(s.StdDev(), std::sqrt(32.0 / 7), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble() * 100;
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1);
+  a.Add(2);
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.Mean(), 1.5);
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,97 @@
+#include "common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace thrifty {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::CapacityExceeded("x").code(),
+            StatusCode::kCapacityExceeded);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  Status st = Status::NotFound("tenant 42");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "tenant 42");
+  EXPECT_EQ(st.ToString(), "Not found: tenant 42");
+}
+
+TEST(StatusTest, StreamOperatorMatchesToString) {
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "Internal: boom");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    THRIFTY_RETURN_NOT_OK(Status::NotFound("inner"));
+    return Status::Internal("unreachable");
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kNotFound);
+  auto succeeds = []() -> Status {
+    THRIFTY_RETURN_NOT_OK(Status::OK());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(succeeds().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Unavailable("down");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    int v = 0;
+    THRIFTY_ASSIGN_OR_RETURN(v, inner(fail));
+    return v + 1;
+  };
+  ASSERT_TRUE(outer(false).ok());
+  EXPECT_EQ(*outer(false), 8);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace thrifty

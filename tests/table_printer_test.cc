@@ -1,0 +1,55 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_time.h"
+
+namespace thrifty {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("| only |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.813, 1), "81.3%");
+  EXPECT_EQ(FormatPercent(0.9999, 2), "99.99%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(FormatTest, FormatSimTime) {
+  EXPECT_EQ(FormatSimTime(0), "0d 00:00:00.000");
+  EXPECT_EQ(FormatSimTime(kDay + 2 * kHour + 3 * kMinute + 4 * kSecond + 5),
+            "1d 02:03:04.005");
+  EXPECT_EQ(FormatSimTime(-kHour), "-0d 01:00:00.000");
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -1,0 +1,203 @@
+#include "placement/two_step.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fig51_fixture.h"
+#include "placement/ffd.h"
+
+namespace thrifty {
+namespace {
+
+using testing_fixtures::Fig51Activities;
+using testing_fixtures::kFig51Epochs;
+
+std::vector<TenantSpec> UniformTenants(size_t count, int nodes) {
+  std::vector<TenantSpec> tenants(count);
+  for (size_t i = 0; i < count; ++i) {
+    tenants[i].id = static_cast<TenantId>(i + 1);
+    tenants[i].requested_nodes = nodes;
+    tenants[i].data_gb = 100.0 * nodes;
+  }
+  return tenants;
+}
+
+TEST(CompareCandidateLevelsTest, LowerTopLevelWins) {
+  // a: exactly-1 = 5; b: exactly-1 = 3, exactly-2 = 1.
+  std::vector<size_t> a = {5};
+  std::vector<size_t> b = {4, 1};
+  EXPECT_LT(CompareCandidateLevels(a, b), 0);
+  EXPECT_GT(CompareCandidateLevels(b, a), 0);
+}
+
+TEST(CompareCandidateLevelsTest, TieCascadesDownward) {
+  // Same top level; fewer exactly-1 epochs wins (Fig 5.3a: T2 over T4).
+  std::vector<size_t> t2 = {7};  // 1-active 70%
+  std::vector<size_t> t4 = {8};  // 1-active 80%
+  EXPECT_LT(CompareCandidateLevels(t2, t4), 0);
+}
+
+TEST(CompareCandidateLevelsTest, FullTieReturnsZero) {
+  std::vector<size_t> a = {6, 2};
+  std::vector<size_t> b = {6, 2};
+  EXPECT_EQ(CompareCandidateLevels(a, b), 0);
+}
+
+TEST(CompareCandidateLevelsTest, DifferentLengthsPadWithZero) {
+  std::vector<size_t> shallow = {6};
+  std::vector<size_t> deep = {6, 1};
+  EXPECT_LT(CompareCandidateLevels(shallow, deep), 0);
+}
+
+// The golden test: the full Fig 5.3 walkthrough. With R=3 and P=99.9%, the
+// heuristic must build TG1 = {T3, T2, T5, T4, T6} (in that insertion order)
+// and reject T1 into its own group.
+TEST(TwoStepTest, Fig53Walkthrough) {
+  auto activities = Fig51Activities();
+  auto tenants = UniformTenants(6, 4);
+  auto problem = MakePackingProblem(tenants, activities, 3, 0.999);
+  ASSERT_TRUE(problem.ok());
+  auto solution = SolveTwoStep(*problem);
+  ASSERT_TRUE(solution.ok());
+  ASSERT_EQ(solution->groups.size(), 2u);
+  // Insertion order is preserved in tenant_ids.
+  EXPECT_EQ(solution->groups[0].tenant_ids,
+            (std::vector<TenantId>{3, 2, 5, 4, 6}));
+  EXPECT_EQ(solution->groups[1].tenant_ids, (std::vector<TenantId>{1}));
+  EXPECT_DOUBLE_EQ(solution->groups[0].ttp, 1.0);
+  EXPECT_EQ(solution->groups[0].max_active, 3);
+  EXPECT_TRUE(VerifySolution(*problem, *solution).ok());
+}
+
+TEST(TwoStepTest, LooserSlaAdmitsT1) {
+  // At P = 90% the TTP(3) = 0.9 group of all six tenants is admissible.
+  auto activities = Fig51Activities();
+  auto tenants = UniformTenants(6, 4);
+  auto problem = MakePackingProblem(tenants, activities, 3, 0.90);
+  ASSERT_TRUE(problem.ok());
+  auto solution = SolveTwoStep(*problem);
+  ASSERT_TRUE(solution.ok());
+  ASSERT_EQ(solution->groups.size(), 1u);
+  EXPECT_EQ(solution->groups[0].tenant_ids.size(), 6u);
+}
+
+TEST(TwoStepTest, Step1SeparatesNodeSizes) {
+  // Tenants of different sizes never share a group.
+  auto activities = Fig51Activities();
+  std::vector<TenantSpec> tenants = UniformTenants(6, 4);
+  tenants[0].requested_nodes = 8;
+  tenants[3].requested_nodes = 8;
+  auto problem = MakePackingProblem(tenants, activities, 3, 0.999);
+  ASSERT_TRUE(problem.ok());
+  auto solution = SolveTwoStep(*problem);
+  ASSERT_TRUE(solution.ok());
+  for (const auto& group : solution->groups) {
+    std::set<int> sizes;
+    for (TenantId id : group.tenant_ids) {
+      sizes.insert(tenants[static_cast<size_t>(id - 1)].requested_nodes);
+    }
+    EXPECT_EQ(sizes.size(), 1u);
+  }
+  EXPECT_TRUE(VerifySolution(*problem, *solution).ok());
+}
+
+TEST(TwoStepTest, ReplicationFactorOneStillGroups) {
+  // With R = 1, tenants whose activities never overlap can share a group.
+  std::vector<ActivityVector> activities;
+  DynamicBitmap a(10), b(10);
+  a.SetRange(0, 3);
+  b.SetRange(5, 8);
+  activities.push_back(ActivityVector::FromBitmap(1, a));
+  activities.push_back(ActivityVector::FromBitmap(2, b));
+  auto tenants = UniformTenants(2, 2);
+  auto problem = MakePackingProblem(tenants, activities, 1, 1.0);
+  ASSERT_TRUE(problem.ok());
+  auto solution = SolveTwoStep(*problem);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->groups.size(), 1u);
+  EXPECT_EQ(solution->groups[0].tenant_ids.size(), 2u);
+}
+
+TEST(TwoStepTest, AlwaysOverlappingTenantsGetOwnGroups) {
+  // Two tenants active in every epoch: with R = 1 they cannot share.
+  std::vector<ActivityVector> activities;
+  for (TenantId id = 1; id <= 2; ++id) {
+    DynamicBitmap bits(10);
+    bits.SetRange(0, 10);
+    activities.push_back(ActivityVector::FromBitmap(id, bits));
+  }
+  auto tenants = UniformTenants(2, 2);
+  auto problem = MakePackingProblem(tenants, activities, 1, 0.999);
+  ASSERT_TRUE(problem.ok());
+  auto solution = SolveTwoStep(*problem);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->groups.size(), 2u);
+}
+
+TEST(TwoStepTest, SeedIsLeastActiveTenant) {
+  // The first member of the first group is the tenant with fewest active
+  // epochs (T3 in the Fig 5.1 data).
+  auto activities = Fig51Activities();
+  auto tenants = UniformTenants(6, 4);
+  auto problem = MakePackingProblem(tenants, activities, 3, 0.999);
+  ASSERT_TRUE(problem.ok());
+  auto solution = SolveTwoStep(*problem);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->groups[0].tenant_ids[0], 3);
+}
+
+// Property test over random instances: solutions are always feasible and
+// complete, across R and P.
+class TwoStepRandomized
+    : public ::testing::TestWithParam<std::pair<int, double>> {};
+
+TEST_P(TwoStepRandomized, SolutionsAreAlwaysFeasible) {
+  auto [r, p] = GetParam();
+  Rng rng(static_cast<uint64_t>(r * 1000) +
+          static_cast<uint64_t>(p * 10000));
+  for (int trial = 0; trial < 5; ++trial) {
+    const size_t num_epochs = 500;
+    std::vector<ActivityVector> activities;
+    std::vector<TenantSpec> tenants;
+    const int sizes[] = {2, 4, 8};
+    for (TenantId id = 0; id < 40; ++id) {
+      DynamicBitmap bits(num_epochs);
+      int runs = static_cast<int>(rng.NextInt(1, 4));
+      for (int run = 0; run < runs; ++run) {
+        size_t begin = rng.NextBounded(num_epochs);
+        bits.SetRange(begin, begin + 20 + rng.NextBounded(60));
+      }
+      activities.push_back(ActivityVector::FromBitmap(id, bits));
+      TenantSpec spec;
+      spec.id = id;
+      spec.requested_nodes = sizes[rng.NextBounded(3)];
+      tenants.push_back(spec);
+    }
+    auto problem = MakePackingProblem(tenants, activities, r, p);
+    ASSERT_TRUE(problem.ok());
+    auto solution = SolveTwoStep(*problem);
+    ASSERT_TRUE(solution.ok());
+    EXPECT_TRUE(VerifySolution(*problem, *solution).ok())
+        << "R=" << r << " P=" << p << " trial=" << trial;
+    // Cost can never exceed serving every tenant in its own group.
+    int64_t worst = 0;
+    for (const auto& t : tenants) worst += r * t.requested_nodes;
+    EXPECT_LE(solution->NodesUsed(r), worst);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RAndP, TwoStepRandomized,
+    ::testing::Values(std::pair<int, double>{1, 0.999},
+                      std::pair<int, double>{2, 0.999},
+                      std::pair<int, double>{3, 0.999},
+                      std::pair<int, double>{4, 0.999},
+                      std::pair<int, double>{3, 0.95},
+                      std::pair<int, double>{3, 0.99},
+                      std::pair<int, double>{3, 0.9999},
+                      std::pair<int, double>{3, 1.0}));
+
+}  // namespace
+}  // namespace thrifty
