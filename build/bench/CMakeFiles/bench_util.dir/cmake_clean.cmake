@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/bench_util.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_availability.dir/ext_availability.cc.o"
+  "CMakeFiles/ext_availability.dir/ext_availability.cc.o.d"
+  "ext_availability"
+  "ext_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

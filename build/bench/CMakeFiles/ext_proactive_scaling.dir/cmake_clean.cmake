@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_proactive_scaling.dir/ext_proactive_scaling.cc.o"
+  "CMakeFiles/ext_proactive_scaling.dir/ext_proactive_scaling.cc.o.d"
+  "ext_proactive_scaling"
+  "ext_proactive_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_proactive_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

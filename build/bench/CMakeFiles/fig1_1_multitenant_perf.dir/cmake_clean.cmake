@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_1_multitenant_perf.dir/fig1_1_multitenant_perf.cc.o"
+  "CMakeFiles/fig1_1_multitenant_perf.dir/fig1_1_multitenant_perf.cc.o.d"
+  "fig1_1_multitenant_perf"
+  "fig1_1_multitenant_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_1_multitenant_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

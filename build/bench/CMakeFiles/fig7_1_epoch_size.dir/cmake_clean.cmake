@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_1_epoch_size.dir/fig7_1_epoch_size.cc.o"
+  "CMakeFiles/fig7_1_epoch_size.dir/fig7_1_epoch_size.cc.o.d"
+  "fig7_1_epoch_size"
+  "fig7_1_epoch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_1_epoch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_1_epoch_size.
+# This may be replaced when dependencies are built.

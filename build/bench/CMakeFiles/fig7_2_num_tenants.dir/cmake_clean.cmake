@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_2_num_tenants.dir/fig7_2_num_tenants.cc.o"
+  "CMakeFiles/fig7_2_num_tenants.dir/fig7_2_num_tenants.cc.o.d"
+  "fig7_2_num_tenants"
+  "fig7_2_num_tenants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_2_num_tenants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

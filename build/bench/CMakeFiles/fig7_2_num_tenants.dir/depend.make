@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_2_num_tenants.
+# This may be replaced when dependencies are built.

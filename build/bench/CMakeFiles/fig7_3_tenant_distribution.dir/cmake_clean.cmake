@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_3_tenant_distribution.dir/fig7_3_tenant_distribution.cc.o"
+  "CMakeFiles/fig7_3_tenant_distribution.dir/fig7_3_tenant_distribution.cc.o.d"
+  "fig7_3_tenant_distribution"
+  "fig7_3_tenant_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_3_tenant_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

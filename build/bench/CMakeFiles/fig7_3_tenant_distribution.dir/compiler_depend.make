@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_3_tenant_distribution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_3_tenant_distribution.
+# This may be replaced when dependencies are built.

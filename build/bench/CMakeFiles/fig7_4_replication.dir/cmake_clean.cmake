@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_4_replication.dir/fig7_4_replication.cc.o"
+  "CMakeFiles/fig7_4_replication.dir/fig7_4_replication.cc.o.d"
+  "fig7_4_replication"
+  "fig7_4_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_4_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

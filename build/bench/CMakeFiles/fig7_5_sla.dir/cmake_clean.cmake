@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_5_sla.dir/fig7_5_sla.cc.o"
+  "CMakeFiles/fig7_5_sla.dir/fig7_5_sla.cc.o.d"
+  "fig7_5_sla"
+  "fig7_5_sla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_5_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

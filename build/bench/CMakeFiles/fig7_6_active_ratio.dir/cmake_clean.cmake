@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_6_active_ratio.dir/fig7_6_active_ratio.cc.o"
+  "CMakeFiles/fig7_6_active_ratio.dir/fig7_6_active_ratio.cc.o.d"
+  "fig7_6_active_ratio"
+  "fig7_6_active_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_6_active_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_6_active_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_1_provisioning.dir/table5_1_provisioning.cc.o"
+  "CMakeFiles/table5_1_provisioning.dir/table5_1_provisioning.cc.o.d"
+  "table5_1_provisioning"
+  "table5_1_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_1_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

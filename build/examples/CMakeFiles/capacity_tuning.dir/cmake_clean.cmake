@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_tuning.dir/capacity_tuning.cpp.o"
+  "CMakeFiles/capacity_tuning.dir/capacity_tuning.cpp.o.d"
+  "capacity_tuning"
+  "capacity_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidation_planner.dir/consolidation_planner.cpp.o"
+  "CMakeFiles/consolidation_planner.dir/consolidation_planner.cpp.o.d"
+  "consolidation_planner"
+  "consolidation_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidation_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_work_features.dir/future_work_features.cpp.o"
+  "CMakeFiles/future_work_features.dir/future_work_features.cpp.o.d"
+  "future_work_features"
+  "future_work_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_work_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_simulation.dir/service_simulation.cpp.o"
+  "CMakeFiles/service_simulation.dir/service_simulation.cpp.o.d"
+  "service_simulation"
+  "service_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

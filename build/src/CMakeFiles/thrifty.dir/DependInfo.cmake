@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/activity/activity_monitor.cc" "src/CMakeFiles/thrifty.dir/activity/activity_monitor.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/activity/activity_monitor.cc.o.d"
+  "/root/repo/src/activity/activity_vector.cc" "src/CMakeFiles/thrifty.dir/activity/activity_vector.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/activity/activity_vector.cc.o.d"
+  "/root/repo/src/activity/burst_detection.cc" "src/CMakeFiles/thrifty.dir/activity/burst_detection.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/activity/burst_detection.cc.o.d"
+  "/root/repo/src/activity/epoch.cc" "src/CMakeFiles/thrifty.dir/activity/epoch.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/activity/epoch.cc.o.d"
+  "/root/repo/src/activity/level_set.cc" "src/CMakeFiles/thrifty.dir/activity/level_set.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/activity/level_set.cc.o.d"
+  "/root/repo/src/common/bitmap.cc" "src/CMakeFiles/thrifty.dir/common/bitmap.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/common/bitmap.cc.o.d"
+  "/root/repo/src/common/distributions.cc" "src/CMakeFiles/thrifty.dir/common/distributions.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/common/distributions.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/thrifty.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/interval.cc" "src/CMakeFiles/thrifty.dir/common/interval.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/common/interval.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/thrifty.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/thrifty.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/thrifty.dir/common/status.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/thrifty.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/core/admin_report.cc" "src/CMakeFiles/thrifty.dir/core/admin_report.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/core/admin_report.cc.o.d"
+  "/root/repo/src/core/deployment_advisor.cc" "src/CMakeFiles/thrifty.dir/core/deployment_advisor.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/core/deployment_advisor.cc.o.d"
+  "/root/repo/src/core/deployment_master.cc" "src/CMakeFiles/thrifty.dir/core/deployment_master.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/core/deployment_master.cc.o.d"
+  "/root/repo/src/core/reconsolidation.cc" "src/CMakeFiles/thrifty.dir/core/reconsolidation.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/core/reconsolidation.cc.o.d"
+  "/root/repo/src/core/service.cc" "src/CMakeFiles/thrifty.dir/core/service.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/core/service.cc.o.d"
+  "/root/repo/src/core/tenant_activity_monitor.cc" "src/CMakeFiles/thrifty.dir/core/tenant_activity_monitor.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/core/tenant_activity_monitor.cc.o.d"
+  "/root/repo/src/mppdb/catalog.cc" "src/CMakeFiles/thrifty.dir/mppdb/catalog.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/mppdb/catalog.cc.o.d"
+  "/root/repo/src/mppdb/cluster.cc" "src/CMakeFiles/thrifty.dir/mppdb/cluster.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/mppdb/cluster.cc.o.d"
+  "/root/repo/src/mppdb/instance.cc" "src/CMakeFiles/thrifty.dir/mppdb/instance.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/mppdb/instance.cc.o.d"
+  "/root/repo/src/mppdb/provisioning.cc" "src/CMakeFiles/thrifty.dir/mppdb/provisioning.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/mppdb/provisioning.cc.o.d"
+  "/root/repo/src/mppdb/query_model.cc" "src/CMakeFiles/thrifty.dir/mppdb/query_model.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/mppdb/query_model.cc.o.d"
+  "/root/repo/src/placement/cluster_design.cc" "src/CMakeFiles/thrifty.dir/placement/cluster_design.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/placement/cluster_design.cc.o.d"
+  "/root/repo/src/placement/deployment_plan.cc" "src/CMakeFiles/thrifty.dir/placement/deployment_plan.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/placement/deployment_plan.cc.o.d"
+  "/root/repo/src/placement/divergent.cc" "src/CMakeFiles/thrifty.dir/placement/divergent.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/placement/divergent.cc.o.d"
+  "/root/repo/src/placement/exact.cc" "src/CMakeFiles/thrifty.dir/placement/exact.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/placement/exact.cc.o.d"
+  "/root/repo/src/placement/ffd.cc" "src/CMakeFiles/thrifty.dir/placement/ffd.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/placement/ffd.cc.o.d"
+  "/root/repo/src/placement/heterogeneous.cc" "src/CMakeFiles/thrifty.dir/placement/heterogeneous.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/placement/heterogeneous.cc.o.d"
+  "/root/repo/src/placement/minlp.cc" "src/CMakeFiles/thrifty.dir/placement/minlp.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/placement/minlp.cc.o.d"
+  "/root/repo/src/placement/plan_io.cc" "src/CMakeFiles/thrifty.dir/placement/plan_io.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/placement/plan_io.cc.o.d"
+  "/root/repo/src/placement/problem.cc" "src/CMakeFiles/thrifty.dir/placement/problem.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/placement/problem.cc.o.d"
+  "/root/repo/src/placement/two_step.cc" "src/CMakeFiles/thrifty.dir/placement/two_step.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/placement/two_step.cc.o.d"
+  "/root/repo/src/routing/query_router.cc" "src/CMakeFiles/thrifty.dir/routing/query_router.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/routing/query_router.cc.o.d"
+  "/root/repo/src/scaling/elastic_scaler.cc" "src/CMakeFiles/thrifty.dir/scaling/elastic_scaler.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/scaling/elastic_scaler.cc.o.d"
+  "/root/repo/src/scaling/manual_tuning.cc" "src/CMakeFiles/thrifty.dir/scaling/manual_tuning.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/scaling/manual_tuning.cc.o.d"
+  "/root/repo/src/scaling/overactive.cc" "src/CMakeFiles/thrifty.dir/scaling/overactive.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/scaling/overactive.cc.o.d"
+  "/root/repo/src/scaling/proactive.cc" "src/CMakeFiles/thrifty.dir/scaling/proactive.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/scaling/proactive.cc.o.d"
+  "/root/repo/src/scaling/rt_ttp_monitor.cc" "src/CMakeFiles/thrifty.dir/scaling/rt_ttp_monitor.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/scaling/rt_ttp_monitor.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/thrifty.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/thrifty.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/workload/log_generator.cc" "src/CMakeFiles/thrifty.dir/workload/log_generator.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/workload/log_generator.cc.o.d"
+  "/root/repo/src/workload/query_log.cc" "src/CMakeFiles/thrifty.dir/workload/query_log.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/workload/query_log.cc.o.d"
+  "/root/repo/src/workload/session.cc" "src/CMakeFiles/thrifty.dir/workload/session.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/workload/session.cc.o.d"
+  "/root/repo/src/workload/statistics.cc" "src/CMakeFiles/thrifty.dir/workload/statistics.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/workload/statistics.cc.o.d"
+  "/root/repo/src/workload/tenant.cc" "src/CMakeFiles/thrifty.dir/workload/tenant.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/workload/tenant.cc.o.d"
+  "/root/repo/src/workload/tenant_population.cc" "src/CMakeFiles/thrifty.dir/workload/tenant_population.cc.o" "gcc" "src/CMakeFiles/thrifty.dir/workload/tenant_population.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_monitor_test.dir/activity_monitor_test.cc.o"
+  "CMakeFiles/activity_monitor_test.dir/activity_monitor_test.cc.o.d"
+  "activity_monitor_test"
+  "activity_monitor_test.pdb"
+  "activity_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_vector_test.dir/activity_vector_test.cc.o"
+  "CMakeFiles/activity_vector_test.dir/activity_vector_test.cc.o.d"
+  "activity_vector_test"
+  "activity_vector_test.pdb"
+  "activity_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

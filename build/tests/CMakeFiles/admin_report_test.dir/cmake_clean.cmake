@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_report_test.dir/admin_report_test.cc.o"
+  "CMakeFiles/admin_report_test.dir/admin_report_test.cc.o.d"
+  "admin_report_test"
+  "admin_report_test.pdb"
+  "admin_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

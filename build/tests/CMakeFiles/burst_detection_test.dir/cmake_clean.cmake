@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_detection_test.dir/burst_detection_test.cc.o"
+  "CMakeFiles/burst_detection_test.dir/burst_detection_test.cc.o.d"
+  "burst_detection_test"
+  "burst_detection_test.pdb"
+  "burst_detection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_test.dir/catalog_test.cc.o"
+  "CMakeFiles/catalog_test.dir/catalog_test.cc.o.d"
+  "catalog_test"
+  "catalog_test.pdb"
+  "catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_master_test.dir/deployment_master_test.cc.o"
+  "CMakeFiles/deployment_master_test.dir/deployment_master_test.cc.o.d"
+  "deployment_master_test"
+  "deployment_master_test.pdb"
+  "deployment_master_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_master_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

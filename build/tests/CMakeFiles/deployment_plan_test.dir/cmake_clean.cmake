@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_plan_test.dir/deployment_plan_test.cc.o"
+  "CMakeFiles/deployment_plan_test.dir/deployment_plan_test.cc.o.d"
+  "deployment_plan_test"
+  "deployment_plan_test.pdb"
+  "deployment_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divergent_test.dir/divergent_test.cc.o"
+  "CMakeFiles/divergent_test.dir/divergent_test.cc.o.d"
+  "divergent_test"
+  "divergent_test.pdb"
+  "divergent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divergent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_scaler_test.dir/elastic_scaler_test.cc.o"
+  "CMakeFiles/elastic_scaler_test.dir/elastic_scaler_test.cc.o.d"
+  "elastic_scaler_test"
+  "elastic_scaler_test.pdb"
+  "elastic_scaler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_scaler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

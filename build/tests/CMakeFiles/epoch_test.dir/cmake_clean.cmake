@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_test.dir/epoch_test.cc.o"
+  "CMakeFiles/epoch_test.dir/epoch_test.cc.o.d"
+  "epoch_test"
+  "epoch_test.pdb"
+  "epoch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_test.dir/exact_test.cc.o"
+  "CMakeFiles/exact_test.dir/exact_test.cc.o.d"
+  "exact_test"
+  "exact_test.pdb"
+  "exact_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffd_test.dir/ffd_test.cc.o"
+  "CMakeFiles/ffd_test.dir/ffd_test.cc.o.d"
+  "ffd_test"
+  "ffd_test.pdb"
+  "ffd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

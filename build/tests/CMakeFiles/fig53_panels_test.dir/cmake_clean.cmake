@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig53_panels_test.dir/fig53_panels_test.cc.o"
+  "CMakeFiles/fig53_panels_test.dir/fig53_panels_test.cc.o.d"
+  "fig53_panels_test"
+  "fig53_panels_test.pdb"
+  "fig53_panels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig53_panels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

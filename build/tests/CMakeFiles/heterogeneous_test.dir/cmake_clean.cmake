@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_test.dir/heterogeneous_test.cc.o"
+  "CMakeFiles/heterogeneous_test.dir/heterogeneous_test.cc.o.d"
+  "heterogeneous_test"
+  "heterogeneous_test.pdb"
+  "heterogeneous_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/level_set_test.dir/level_set_test.cc.o"
+  "CMakeFiles/level_set_test.dir/level_set_test.cc.o.d"
+  "level_set_test"
+  "level_set_test.pdb"
+  "level_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/level_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

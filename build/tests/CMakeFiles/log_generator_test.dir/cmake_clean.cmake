@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_generator_test.dir/log_generator_test.cc.o"
+  "CMakeFiles/log_generator_test.dir/log_generator_test.cc.o.d"
+  "log_generator_test"
+  "log_generator_test.pdb"
+  "log_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

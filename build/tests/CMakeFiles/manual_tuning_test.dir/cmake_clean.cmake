@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manual_tuning_test.dir/manual_tuning_test.cc.o"
+  "CMakeFiles/manual_tuning_test.dir/manual_tuning_test.cc.o.d"
+  "manual_tuning_test"
+  "manual_tuning_test.pdb"
+  "manual_tuning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manual_tuning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minlp_test.dir/minlp_test.cc.o"
+  "CMakeFiles/minlp_test.dir/minlp_test.cc.o.d"
+  "minlp_test"
+  "minlp_test.pdb"
+  "minlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

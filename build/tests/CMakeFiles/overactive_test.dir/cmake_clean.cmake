@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overactive_test.dir/overactive_test.cc.o"
+  "CMakeFiles/overactive_test.dir/overactive_test.cc.o.d"
+  "overactive_test"
+  "overactive_test.pdb"
+  "overactive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overactive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_io_test.dir/plan_io_test.cc.o"
+  "CMakeFiles/plan_io_test.dir/plan_io_test.cc.o.d"
+  "plan_io_test"
+  "plan_io_test.pdb"
+  "plan_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

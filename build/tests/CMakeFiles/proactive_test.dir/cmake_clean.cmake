@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proactive_test.dir/proactive_test.cc.o"
+  "CMakeFiles/proactive_test.dir/proactive_test.cc.o.d"
+  "proactive_test"
+  "proactive_test.pdb"
+  "proactive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proactive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provisioning_test.dir/provisioning_test.cc.o"
+  "CMakeFiles/provisioning_test.dir/provisioning_test.cc.o.d"
+  "provisioning_test"
+  "provisioning_test.pdb"
+  "provisioning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provisioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

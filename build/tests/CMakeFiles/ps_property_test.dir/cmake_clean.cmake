@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_property_test.dir/ps_property_test.cc.o"
+  "CMakeFiles/ps_property_test.dir/ps_property_test.cc.o.d"
+  "ps_property_test"
+  "ps_property_test.pdb"
+  "ps_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

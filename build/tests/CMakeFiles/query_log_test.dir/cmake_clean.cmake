@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_log_test.dir/query_log_test.cc.o"
+  "CMakeFiles/query_log_test.dir/query_log_test.cc.o.d"
+  "query_log_test"
+  "query_log_test.pdb"
+  "query_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

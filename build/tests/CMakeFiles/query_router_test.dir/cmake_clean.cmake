@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_router_test.dir/query_router_test.cc.o"
+  "CMakeFiles/query_router_test.dir/query_router_test.cc.o.d"
+  "query_router_test"
+  "query_router_test.pdb"
+  "query_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

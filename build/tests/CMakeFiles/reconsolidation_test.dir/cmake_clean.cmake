@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconsolidation_test.dir/reconsolidation_test.cc.o"
+  "CMakeFiles/reconsolidation_test.dir/reconsolidation_test.cc.o.d"
+  "reconsolidation_test"
+  "reconsolidation_test.pdb"
+  "reconsolidation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconsolidation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

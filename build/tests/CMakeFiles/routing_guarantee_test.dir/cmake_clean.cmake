@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_guarantee_test.dir/routing_guarantee_test.cc.o"
+  "CMakeFiles/routing_guarantee_test.dir/routing_guarantee_test.cc.o.d"
+  "routing_guarantee_test"
+  "routing_guarantee_test.pdb"
+  "routing_guarantee_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_guarantee_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

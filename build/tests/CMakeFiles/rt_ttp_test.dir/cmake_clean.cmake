@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_ttp_test.dir/rt_ttp_test.cc.o"
+  "CMakeFiles/rt_ttp_test.dir/rt_ttp_test.cc.o.d"
+  "rt_ttp_test"
+  "rt_ttp_test.pdb"
+  "rt_ttp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_ttp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_step_test.dir/two_step_test.cc.o"
+  "CMakeFiles/two_step_test.dir/two_step_test.cc.o.d"
+  "two_step_test"
+  "two_step_test.pdb"
+  "two_step_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_step_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
