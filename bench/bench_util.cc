@@ -1,10 +1,215 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 namespace thrifty {
 namespace bench {
+
+namespace {
+
+[[noreturn]] void PrintUsageAndExit(const std::string& bench_name, int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: " << bench_name << " [options]\n"
+     << "  --jobs=N     run sweep trials on N worker threads (default 1);\n"
+     << "               results are bit-identical for any N\n"
+     << "  --seed=S     base seed for deterministic trial streams\n"
+     << "  --out=DIR    directory for BENCH_" << bench_name
+     << ".json (default .)\n"
+     << "  --no-json    skip writing the JSON result file\n"
+     << "  --help       this message\n";
+  std::exit(code);
+}
+
+/// Accepts "--name=value" or "--name value"; advances *i in the latter case.
+bool MatchValueFlag(int argc, char** argv, int* i, const char* name,
+                    std::string* value) {
+  const char* arg = argv[*i];
+  size_t name_len = std::strlen(name);
+  if (std::strncmp(arg, name, name_len) != 0) return false;
+  if (arg[name_len] == '=') {
+    *value = arg + name_len + 1;
+    return true;
+  }
+  if (arg[name_len] == '\0') {
+    if (*i + 1 >= argc) return false;
+    *value = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+void AppendJsonEscaped(const std::string& text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string JsonNumber(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+BenchOptions ParseBenchArgs(int argc, char** argv,
+                            const std::string& bench_name) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      PrintUsageAndExit(bench_name, 0);
+    } else if (MatchValueFlag(argc, argv, &i, "--jobs", &value) ||
+               MatchValueFlag(argc, argv, &i, "-j", &value)) {
+      char* end = nullptr;
+      options.jobs = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+      if (value.empty() || *end != '\0' || options.jobs < 1) {
+        std::cerr << bench_name << ": --jobs needs a positive integer, got '"
+                  << value << "'\n";
+        std::exit(2);
+      }
+    } else if (MatchValueFlag(argc, argv, &i, "--seed", &value)) {
+      char* end = nullptr;
+      options.seed = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0') {
+        std::cerr << bench_name << ": --seed needs an unsigned integer, got '"
+                  << value << "'\n";
+        std::exit(2);
+      }
+      options.seed_set = true;
+    } else if (MatchValueFlag(argc, argv, &i, "--out", &value)) {
+      options.out_dir = value;
+    } else if (std::strcmp(argv[i], "--no-json") == 0) {
+      options.write_json = false;
+    } else {
+      std::cerr << bench_name << ": unknown argument '" << argv[i] << "'\n";
+      PrintUsageAndExit(bench_name, 2);
+    }
+  }
+  return options;
+}
+
+uint64_t Fnv1a64(const std::string& text) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string RenderTable(const TablePrinter& table) {
+  std::ostringstream os;
+  table.Print(os);
+  return os.str();
+}
+
+BenchReport::BenchReport(std::string bench_name, BenchOptions options)
+    : bench_name_(std::move(bench_name)),
+      options_(std::move(options)),
+      start_(std::chrono::steady_clock::now()) {}
+
+void BenchReport::AddMetric(const std::string& name, double value) {
+  metrics_.emplace_back(name, value);
+}
+
+void BenchReport::AddText(const std::string& name, const std::string& value) {
+  info_.emplace_back(name, value);
+}
+
+void BenchReport::SetResultsTable(const TablePrinter& table) {
+  results_table_ = RenderTable(table);
+}
+
+double BenchReport::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void BenchReport::Write() {
+  double wall_seconds = ElapsedSeconds();
+  char fingerprint[24];
+  std::snprintf(fingerprint, sizeof(fingerprint), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(results_table_)));
+
+  std::cout << "\n[" << bench_name_ << "] wall " << FormatDouble(wall_seconds, 2)
+            << "s, jobs=" << options_.jobs << ", seed=" << options_.seed
+            << ", results fingerprint " << fingerprint << "\n";
+
+  if (!options_.write_json) return;
+  std::string json;
+  json += "{\n";
+  json += "  \"bench\": \"";
+  AppendJsonEscaped(bench_name_, &json);
+  json += "\",\n";
+  json += "  \"jobs\": " + std::to_string(options_.jobs) + ",\n";
+  json += "  \"seed\": " + std::to_string(options_.seed) + ",\n";
+  json += "  \"wall_seconds\": " + JsonNumber(wall_seconds) + ",\n";
+  json += "  \"results_fnv1a\": \"";
+  json += fingerprint;
+  json += "\",\n";
+  json += "  \"metrics\": {";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    json += i == 0 ? "\n" : ",\n";
+    json += "    \"";
+    AppendJsonEscaped(metrics_[i].first, &json);
+    json += "\": " + JsonNumber(metrics_[i].second);
+  }
+  json += metrics_.empty() ? "},\n" : "\n  },\n";
+  json += "  \"info\": {";
+  for (size_t i = 0; i < info_.size(); ++i) {
+    json += i == 0 ? "\n" : ",\n";
+    json += "    \"";
+    AppendJsonEscaped(info_[i].first, &json);
+    json += "\": \"";
+    AppendJsonEscaped(info_[i].second, &json);
+    json += "\"";
+  }
+  json += info_.empty() ? "},\n" : "\n  },\n";
+  json += "  \"results_table\": \"";
+  AppendJsonEscaped(results_table_, &json);
+  json += "\"\n}\n";
+
+  std::string path = options_.out_dir + "/BENCH_" + bench_name_ + ".json";
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << bench_name_ << ": cannot write " << path << "\n";
+    return;
+  }
+  file << json;
+  std::cout << "[" << bench_name_ << "] wrote " << path << "\n";
+}
 
 Workload GenerateWorkload(const QueryCatalog& catalog,
                           const ExperimentConfig& config) {

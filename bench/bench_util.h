@@ -8,13 +8,80 @@
 #ifndef THRIFTY_BENCH_BENCH_UTIL_H_
 #define THRIFTY_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/thrifty.h"
 
 namespace thrifty {
 namespace bench {
+
+/// \brief Command-line options shared by every bench binary.
+struct BenchOptions {
+  /// Worker threads for the trial sweep (--jobs=N). 1 = sequential.
+  int jobs = 1;
+  /// Base seed for the sweep's deterministic trial streams (--seed=S).
+  uint64_t seed = 42;
+  /// True when --seed was passed explicitly (benches whose canonical
+  /// scenario uses a non-default seed keep it unless overridden).
+  bool seed_set = false;
+  /// Directory for the BENCH_<name>.json result file (--out=DIR).
+  std::string out_dir = ".";
+  /// Skip writing the JSON file (--no-json).
+  bool write_json = true;
+
+  /// \brief The explicit --seed if given, else `fallback`.
+  uint64_t SeedOr(uint64_t fallback) const {
+    return seed_set ? seed : fallback;
+  }
+};
+
+/// \brief Parses --jobs/--seed/--out/--no-json/--help; exits on bad usage.
+BenchOptions ParseBenchArgs(int argc, char** argv,
+                            const std::string& bench_name);
+
+/// \brief FNV-1a 64-bit fingerprint, used to assert byte-identity of result
+/// tables across --jobs values.
+uint64_t Fnv1a64(const std::string& text);
+
+/// \brief Renders a TablePrinter to a string.
+std::string RenderTable(const TablePrinter& table);
+
+/// \brief Collects a bench run's wall clock, metrics, and deterministic
+/// result table, and writes them to BENCH_<name>.json.
+///
+/// The results table must contain only deterministic cells (no wall-clock
+/// timings), so its fingerprint is byte-identical for --jobs=1 and
+/// --jobs=N; timings belong in metrics, which are reported but never
+/// fingerprinted.
+class BenchReport {
+ public:
+  /// \brief Starts the wall clock.
+  BenchReport(std::string bench_name, BenchOptions options);
+
+  void AddMetric(const std::string& name, double value);
+  void AddText(const std::string& name, const std::string& value);
+
+  /// \brief Stores the deterministic results table (text + fingerprint).
+  void SetResultsTable(const TablePrinter& table);
+
+  double ElapsedSeconds() const;
+
+  /// \brief Stops the clock, prints a summary line, and writes the JSON
+  /// file (unless --no-json).
+  void Write();
+
+ private:
+  std::string bench_name_;
+  BenchOptions options_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> info_;
+  std::string results_table_;
+};
 
 /// \brief Parameters of one experiment run (defaults = Table 7.1 defaults,
 /// with a 14-day horizon instead of 30 days to bound bench runtime; see

@@ -9,9 +9,11 @@
 // lead time, buying back part of the hours-long MPPDB preparation.
 //
 // Reported: detection time, new-MPPDB-ready time, and SLA violations for
-// each policy.
+// each policy. The two policy runs are independent trials (each with its
+// own SimEngine/Cluster/ThriftyService) fanned across --jobs workers.
 
 #include <iostream>
+#include <stdexcept>
 
 #include "bench_util.h"
 
@@ -54,7 +56,7 @@ PolicyResult RunPolicy(ScalingPolicy policy, const QueryCatalog& catalog) {
   options.scaling.policy = policy;
   options.scaling.proactive_lead = 6 * kHour;
   ThriftyService service(&engine, &cluster, &catalog, options);
-  if (!service.Deploy(plan).ok()) std::exit(1);
+  if (!service.Deploy(plan).ok()) throw std::runtime_error("Deploy failed");
 
   PolicyResult result;
   service.set_completion_hook([&](const QueryOutcome& outcome) {
@@ -96,9 +98,14 @@ PolicyResult RunPolicy(ScalingPolicy policy, const QueryCatalog& catalog) {
 }  // namespace
 }  // namespace thrifty
 
-int main() {
+int main(int argc, char** argv) {
   using namespace thrifty;
   using namespace thrifty::bench;
+
+  const std::string bench_name = "ext_proactive_scaling";
+  BenchOptions options = ParseBenchArgs(argc, argv, bench_name);
+  BenchReport report(bench_name, options);
+
   QueryCatalog catalog = QueryCatalog::Default();
 
   PrintBanner(
@@ -108,8 +115,15 @@ int main() {
       "before the reactive breach, so the replacement MPPDB is ready\n"
       "earlier and fewer queries violate the SLA.");
 
-  PolicyResult reactive = RunPolicy(ScalingPolicy::kReactive, catalog);
-  PolicyResult proactive = RunPolicy(ScalingPolicy::kProactive, catalog);
+  const ScalingPolicy policies[] = {ScalingPolicy::kReactive,
+                                    ScalingPolicy::kProactive};
+  SweepRunner runner({options.jobs, options.seed});
+  auto results = runner.Map<PolicyResult>(
+      std::size(policies), [&](TrialContext& context) {
+        return RunPolicy(policies[context.trial_index], catalog);
+      });
+  const PolicyResult& reactive = results[0];
+  const PolicyResult& proactive = results[1];
 
   TablePrinter table({"policy", "detected (h)", "MPPDB ready (h)",
                       "trigger", "SLA violations", "queries"});
@@ -132,12 +146,19 @@ int main() {
   table.Print(std::cout);
 
   if (proactive.detected > 0 && reactive.detected > 0) {
-    std::cout << "\nProactive lead gained: "
-              << FormatDouble(DurationToSeconds(reactive.detected -
-                                                proactive.detected) /
-                                  3600,
-                              1)
+    double lead_hours = DurationToSeconds(reactive.detected -
+                                          proactive.detected) /
+                        3600;
+    std::cout << "\nProactive lead gained: " << FormatDouble(lead_hours, 1)
               << " hours.\n";
+    report.AddMetric("proactive_lead_hours", lead_hours);
   }
+
+  report.SetResultsTable(table);
+  report.AddMetric("reactive_violations",
+                   static_cast<double>(reactive.violations));
+  report.AddMetric("proactive_violations",
+                   static_cast<double>(proactive.violations));
+  report.Write();
   return 0;
 }

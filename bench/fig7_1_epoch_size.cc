@@ -11,21 +11,31 @@
 // horizon (and 3 days for the E = 0.1 s point, whose epoch count would
 // otherwise be 26M) to bound runtime/memory — effectiveness is insensitive
 // to horizon beyond about a week because the weekly pattern repeats.
+//
+// The two workloads are generated once; each E point epochizes and solves
+// as an independent trial fanned across --jobs workers. Note each in-flight
+// trial holds its own epochized activity vectors, so peak memory grows with
+// --jobs (the E = 0.1 s point dominates).
 
 #include <iostream>
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace thrifty;
   using namespace thrifty::bench;
 
+  const std::string bench_name = "fig7_1_epoch_size";
+  BenchOptions options = ParseBenchArgs(argc, argv, bench_name);
+  BenchReport report(bench_name, options);
+
   QueryCatalog catalog = QueryCatalog::Default();
   ExperimentConfig config;
-  Workload workload = GenerateWorkload(catalog, config);
+  config.seed = options.seed;
+  const Workload workload = GenerateWorkload(catalog, config);
   ExperimentConfig short_config = config;
   short_config.horizon_days = 3;
-  Workload short_workload = GenerateWorkload(catalog, short_config);
+  const Workload short_workload = GenerateWorkload(catalog, short_config);
 
   PrintBanner("Figure 7.1: Varying Epoch Size E",
               "T=5000, theta=0.8, R=3, P=99.9%. Average active tenant "
@@ -43,26 +53,41 @@ int main() {
       {1800, &workload, 14},
   };
 
+  SweepRunner runner({options.jobs, options.seed});
+  auto results = runner.Map<std::vector<SolverRow>>(
+      std::size(points), [&](TrialContext& context) {
+        const Point& point = points[context.trial_index];
+        auto vectors = EpochizeWorkload(
+            *point.workload, SecondsToDuration(point.epoch_seconds));
+        return RunBothSolvers(*point.workload, vectors,
+                              config.replication_factor, config.sla_fraction);
+      });
+
   TablePrinter table({"E (s)", "horizon (d)", "FFD eff.", "2-step eff.",
-                      "FFD grp", "2-step grp", "FFD time (s)",
-                      "2-step time (s)"});
-  for (const auto& point : points) {
-    auto vectors = EpochizeWorkload(*point.workload,
-                                    SecondsToDuration(point.epoch_seconds));
-    auto rows = RunBothSolvers(*point.workload, vectors,
-                               config.replication_factor,
-                               config.sla_fraction);
-    table.AddRow({FormatDouble(point.epoch_seconds, 1),
-                  std::to_string(point.horizon_days),
-                  FormatPercent(rows[0].effectiveness, 1),
-                  FormatPercent(rows[1].effectiveness, 1),
-                  FormatDouble(rows[0].average_group_size, 1),
-                  FormatDouble(rows[1].average_group_size, 1),
-                  FormatDouble(rows[0].solve_seconds, 2),
-                  FormatDouble(rows[1].solve_seconds, 2)});
-    std::cout << "  [E=" << point.epoch_seconds << "s done]" << std::endl;
+                      "FFD grp", "2-step grp"});
+  TablePrinter timings({"E (s)", "FFD time (s)", "2-step time (s)"});
+  for (size_t p = 0; p < std::size(points); ++p) {
+    const SolverRow& ffd = results[p][0];
+    const SolverRow& two_step = results[p][1];
+    std::string e = FormatDouble(points[p].epoch_seconds, 1);
+    table.AddRow({e, std::to_string(points[p].horizon_days),
+                  FormatPercent(ffd.effectiveness, 1),
+                  FormatPercent(two_step.effectiveness, 1),
+                  FormatDouble(ffd.average_group_size, 1),
+                  FormatDouble(two_step.average_group_size, 1)});
+    timings.AddRow({e, FormatDouble(ffd.solve_seconds, 2),
+                    FormatDouble(two_step.solve_seconds, 2)});
+    report.AddMetric("ffd_solve_seconds_e" + e, ffd.solve_seconds);
+    report.AddMetric("two_step_solve_seconds_e" + e, two_step.solve_seconds);
+    report.AddMetric("two_step_effectiveness_e" + e, two_step.effectiveness);
   }
-  std::cout << "\n";
   table.Print(std::cout);
+  std::cout << "\nSolver wall-clock (non-deterministic, excluded from the "
+               "fingerprint):\n";
+  timings.Print(std::cout);
+
+  report.SetResultsTable(table);
+  report.AddMetric("trials", static_cast<double>(std::size(points)));
+  report.Write();
   return 0;
 }

@@ -12,14 +12,21 @@
 // The paper's rising "active tenant ratio" numbers correspond to the
 // conditional (busy-epoch) ratio: the time-average ratio is invariant to
 // concentrating the same activity into fewer clock hours.
+//
+// Each scenario (workload generation + ratio computation + both solvers)
+// is an independent trial fanned across --jobs workers.
 
 #include <iostream>
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace thrifty;
   using namespace thrifty::bench;
+
+  const std::string bench_name = "fig7_6_active_ratio";
+  BenchOptions options = ParseBenchArgs(argc, argv, bench_name);
+  BenchReport report(bench_name, options);
 
   QueryCatalog catalog = QueryCatalog::Default();
   PrintBanner("Figure 7.6: Higher Active Tenant Ratio",
@@ -37,38 +44,63 @@ int main() {
       {"(3) all +0, no lunch", {0}, false},
   };
 
+  struct ScenarioResult {
+    double busy_ratio = 0;
+    std::vector<SolverRow> rows;
+  };
+  SweepRunner runner({options.jobs, options.seed});
+  auto results = runner.Map<ScenarioResult>(
+      std::size(scenarios), [&](TrialContext& context) {
+        const Scenario& scenario = scenarios[context.trial_index];
+        ExperimentConfig config;
+        config.seed = options.seed;
+        config.composer.offset_hours = scenario.offsets;
+        config.composer.lunch_break = scenario.lunch;
+        Workload workload = GenerateWorkload(catalog, config);
+
+        // Conditional (busy-epoch) active-tenant ratio of the composed logs.
+        std::vector<TenantLog> pseudo_logs(workload.activity.size());
+        for (size_t i = 0; i < workload.activity.size(); ++i) {
+          pseudo_logs[i].tenant_id = workload.tenants[i].id;
+          for (const auto& iv : workload.activity[i].intervals()) {
+            pseudo_logs[i].entries.push_back({iv.begin, 0, iv.length(), -1});
+          }
+        }
+        ScenarioResult result;
+        result.busy_ratio = ConditionalActiveTenantRatio(
+            pseudo_logs, 0, workload.horizon_end, config.epoch_size);
+
+        auto vectors = EpochizeWorkload(workload, config.epoch_size);
+        result.rows = RunBothSolvers(workload, vectors,
+                                     config.replication_factor,
+                                     config.sla_fraction);
+        return result;
+      });
+
   TablePrinter table({"scenario", "busy-epoch ratio", "FFD eff.",
                       "2-step eff.", "FFD grp", "2-step grp"});
-  for (const auto& scenario : scenarios) {
-    ExperimentConfig config;
-    config.composer.offset_hours = scenario.offsets;
-    config.composer.lunch_break = scenario.lunch;
-    Workload workload = GenerateWorkload(catalog, config);
-
-    // Conditional (busy-epoch) active-tenant ratio of the composed logs.
-    std::vector<TenantLog> pseudo_logs(workload.activity.size());
-    for (size_t i = 0; i < workload.activity.size(); ++i) {
-      pseudo_logs[i].tenant_id = workload.tenants[i].id;
-      for (const auto& iv : workload.activity[i].intervals()) {
-        pseudo_logs[i].entries.push_back(
-            {iv.begin, 0, iv.length(), -1});
-      }
-    }
-    double ratio = ConditionalActiveTenantRatio(pseudo_logs, 0,
-                                                workload.horizon_end,
-                                                config.epoch_size);
-
-    auto vectors = EpochizeWorkload(workload, config.epoch_size);
-    auto rows = RunBothSolvers(workload, vectors, config.replication_factor,
-                               config.sla_fraction);
-    table.AddRow({scenario.name, FormatPercent(ratio, 1),
-                  FormatPercent(rows[0].effectiveness, 1),
-                  FormatPercent(rows[1].effectiveness, 1),
-                  FormatDouble(rows[0].average_group_size, 1),
-                  FormatDouble(rows[1].average_group_size, 1)});
-    std::cout << "  [" << scenario.name << " done]" << std::endl;
+  TablePrinter timings({"scenario", "FFD time (s)", "2-step time (s)"});
+  for (size_t s = 0; s < std::size(scenarios); ++s) {
+    const ScenarioResult& result = results[s];
+    table.AddRow({scenarios[s].name, FormatPercent(result.busy_ratio, 1),
+                  FormatPercent(result.rows[0].effectiveness, 1),
+                  FormatPercent(result.rows[1].effectiveness, 1),
+                  FormatDouble(result.rows[0].average_group_size, 1),
+                  FormatDouble(result.rows[1].average_group_size, 1)});
+    timings.AddRow({scenarios[s].name,
+                    FormatDouble(result.rows[0].solve_seconds, 2),
+                    FormatDouble(result.rows[1].solve_seconds, 2)});
+    report.AddMetric("busy_ratio_s" + std::to_string(s), result.busy_ratio);
+    report.AddMetric("two_step_effectiveness_s" + std::to_string(s),
+                     result.rows[1].effectiveness);
   }
-  std::cout << "\n";
   table.Print(std::cout);
+  std::cout << "\nSolver wall-clock (non-deterministic, excluded from the "
+               "fingerprint):\n";
+  timings.Print(std::cout);
+
+  report.SetResultsTable(table);
+  report.AddMetric("trials", static_cast<double>(std::size(scenarios)));
+  report.Write();
   return 0;
 }

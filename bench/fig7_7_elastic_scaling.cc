@@ -14,10 +14,15 @@
 // ~2 s in the paper), spends hours of simulated time bulk loading only the
 // over-active tenant's data (Table 5.1 economics), and after the new MPPDB
 // is ready the RT-TTP returns above P and SLA violations stop.
+//
+// The two runs (scaling off / scaling on) are independent trials, each with
+// its own SimEngine/Cluster/ThriftyService, fanned across --jobs workers.
+// The canonical figure uses seed 4242; --seed overrides it.
 
 #include <algorithm>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <vector>
 
 #include "bench_util.h"
@@ -53,8 +58,10 @@ RunResult RunOnce(bool scaling_enabled, const DeploymentPlan& plan,
   options.scaling.warmup = 24 * kHour;
   options.scaling.check_interval = 10 * kMinute;
   ThriftyService service(&engine, &cluster, &catalog, options);
-  if (!service.Deploy(plan).ok()) std::exit(1);
-  if (!service.ScheduleLogReplay(logs).ok()) std::exit(1);
+  if (!service.Deploy(plan).ok()) throw std::runtime_error("Deploy failed");
+  if (!service.ScheduleLogReplay(logs).ok()) {
+    throw std::runtime_error("ScheduleLogReplay failed");
+  }
 
   RunResult result;
   service.set_completion_hook([&](const QueryOutcome& outcome) {
@@ -103,16 +110,22 @@ RunResult RunOnce(bool scaling_enabled, const DeploymentPlan& plan,
 }  // namespace
 }  // namespace thrifty
 
-int main() {
+int main(int argc, char** argv) {
   using namespace thrifty;
   using namespace thrifty::bench;
+
+  const std::string bench_name = "fig7_7_elastic_scaling";
+  BenchOptions options = ParseBenchArgs(argc, argv, bench_name);
+  options.seed = options.SeedOr(4242);  // canonical figure seed
+  BenchReport report(bench_name, options);
 
   QueryCatalog catalog = QueryCatalog::Default();
 
   // Build a realistic tenant-group: a 4-node-only population grouped under
   // Table 7.1 defaults; take the first group (the paper's example group
-  // had 14 tenants requesting 4-node MPPDBs).
-  Rng rng(4242);
+  // had 14 tenants requesting 4-node MPPDBs). The canonical figure was
+  // produced with seed 4242, so keep that unless --seed is given.
+  Rng rng(options.seed);
   SessionLibrary library(&catalog, {4}, /*sessions_per_class=*/25,
                          rng.Fork(1));
   PopulationOptions pop;
@@ -158,10 +171,13 @@ int main() {
           std::to_string(hog) + " is taken over at t=30h (continuous "
           "queries).");
 
-  RunResult off = RunOnce(false, plan, group_logs, hog, catalog, takeover,
-                          horizon);
-  RunResult on = RunOnce(true, plan, group_logs, hog, catalog, takeover,
-                         horizon);
+  SweepRunner runner({options.jobs, options.seed});
+  auto runs = runner.Map<RunResult>(2, [&](TrialContext& context) {
+    return RunOnce(/*scaling_enabled=*/context.trial_index == 1, plan,
+                   group_logs, hog, catalog, takeover, horizon);
+  });
+  const RunResult& off = runs[0];
+  const RunResult& on = runs[1];
 
   TablePrinter table({"t (h)", "RT-TTP off", "worst perf off", "viol off",
                       "RT-TTP on", "worst perf on", "viol on"});
@@ -202,5 +218,13 @@ int main() {
   } else {
     std::cout << "\nWARNING: no scaling event fired.\n";
   }
+
+  report.SetResultsTable(table);
+  report.AddMetric("completed_off", static_cast<double>(off.completed));
+  report.AddMetric("violations_off", static_cast<double>(off.violations));
+  report.AddMetric("completed_on", static_cast<double>(on.completed));
+  report.AddMetric("violations_on", static_cast<double>(on.violations));
+  report.AddMetric("scaling_events", static_cast<double>(on.events.size()));
+  report.Write();
   return 0;
 }

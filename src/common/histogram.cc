@@ -62,9 +62,17 @@ double Histogram::Percentile(double q) const {
 
 double Histogram::FractionAtMost(double threshold) const {
   if (count_ == 0) return 1.0;
+  // Bucket-granular and pessimistic: a bucket counts only when its entire
+  // range lies at or below the threshold. Including the bucket that merely
+  // *contains* the threshold would also count values above it, optimistically
+  // inflating SLA attainment by up to one bucket's worth of mass.
   size_t limit = BucketFor(threshold);
+  // The threshold's own bucket qualifies only when the threshold sits on its
+  // upper bound (relative tolerance absorbs pow/log round-trip error).
+  size_t end = limit;
+  if (BucketUpperBound(limit) <= threshold * (1 + 1e-9)) ++end;
   size_t seen = 0;
-  for (size_t b = 0; b <= limit && b < buckets_.size(); ++b) {
+  for (size_t b = 0; b < end && b < buckets_.size(); ++b) {
     seen += buckets_[b];
   }
   return static_cast<double>(seen) / static_cast<double>(count_);

@@ -32,6 +32,13 @@ class Histogram {
   double Percentile(double q) const;
 
   /// \brief Fraction of recorded values <= threshold (bucket-granular).
+  ///
+  /// Counts only buckets whose entire range lies at or below the threshold,
+  /// so the estimate is a *lower* bound: values in the bucket containing a
+  /// mid-bucket threshold are excluded even if they are <= it (relative
+  /// error bounded by one bucket, i.e. growth - 1). The previous behavior
+  /// included the whole containing bucket, over-counting values above the
+  /// threshold and optimistically biasing SLA attainment.
   double FractionAtMost(double threshold) const;
 
   void Merge(const Histogram& other);

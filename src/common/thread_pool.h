@@ -1,0 +1,53 @@
+// Fixed-size worker pool for CPU-parallel experiment execution.
+
+#ifndef THRIFTY_COMMON_THREAD_POOL_H_
+#define THRIFTY_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace thrifty {
+
+/// \brief Fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Submit returns a future that resolves when the task finishes; if the
+/// task throws, the exception is captured and rethrown from future::get(),
+/// so a failing task never takes down a worker thread. Destruction drains
+/// every already-submitted task, then joins all workers.
+class ThreadPool {
+ public:
+  /// \param num_threads worker count; values below 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues `task` for execution on some worker.
+  ///
+  /// The returned future carries the task's exception, if any. Submitting
+  /// from inside a task is allowed; submitting during destruction is not.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// \brief Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_COMMON_THREAD_POOL_H_

@@ -24,12 +24,14 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "core/admin_report.h"
 #include "core/deployment_advisor.h"
 #include "core/deployment_master.h"
 #include "core/reconsolidation.h"
 #include "core/service.h"
 #include "core/tenant_activity_monitor.h"
+#include "exp/sweep_runner.h"
 #include "mppdb/catalog.h"
 #include "mppdb/cluster.h"
 #include "mppdb/instance.h"

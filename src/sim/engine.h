@@ -44,7 +44,7 @@ class SimEngine {
   size_t events_processed() const { return events_processed_; }
 
   /// \brief Number of pending events.
-  size_t events_pending() { return queue_.LiveCount(); }
+  size_t events_pending() const { return queue_.LiveCount(); }
 
  private:
   SimTime now_ = 0;

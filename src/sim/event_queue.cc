@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -15,13 +16,14 @@ EventId EventQueue::Schedule(SimTime t, EventCallback cb) {
 void EventQueue::Cancel(EventId id) {
   if (id == kInvalidEventId) return;
   // Cancelling an id that already fired (or was already cancelled) is a
-  // no-op: only pending ids carry a tombstone.
-  if (pending_.erase(id) > 0) {
-    cancelled_.insert(id);
-  }
+  // no-op: only pending ids carry a tombstone, so repeated stale cancels
+  // cannot grow cancelled_.
+  if (pending_.erase(id) == 0) return;
+  cancelled_.insert(id);
+  CompactIfNeeded();
 }
 
-void EventQueue::SkipCancelled() {
+void EventQueue::SkipCancelled() const {
   while (!queue_.empty()) {
     auto it = cancelled_.find(queue_.top().id);
     if (it == cancelled_.end()) return;
@@ -30,12 +32,26 @@ void EventQueue::SkipCancelled() {
   }
 }
 
-bool EventQueue::Empty() {
+void EventQueue::CompactIfNeeded() {
+  // Head-skipping alone reclaims a tombstone only when it surfaces, so a
+  // workload that keeps cancelling far-future events would grow both the
+  // heap and cancelled_ without bound. Rebuild once tombstones dominate;
+  // each entry is dropped at most once, so cancels stay amortized O(1).
+  if (cancelled_.size() < 64 || cancelled_.size() <= pending_.size()) return;
+  std::vector<Entry>& entries = queue_.entries();
+  std::erase_if(entries, [this](const Entry& entry) {
+    return cancelled_.count(entry.id) > 0;
+  });
+  std::make_heap(entries.begin(), entries.end(), EntryLater{});
+  cancelled_.clear();
+}
+
+bool EventQueue::Empty() const {
   SkipCancelled();
   return queue_.empty();
 }
 
-SimTime EventQueue::NextTime() {
+SimTime EventQueue::NextTime() const {
   SkipCancelled();
   return queue_.empty() ? kNeverTime : queue_.top().time;
 }

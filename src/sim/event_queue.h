@@ -25,7 +25,9 @@ using EventCallback = std::function<void(SimTime)>;
 ///
 /// Events at equal times fire in scheduling order (FIFO by sequence number),
 /// which makes simulation runs fully deterministic. Cancellation is lazy:
-/// cancelled entries are skipped at pop time.
+/// cancelled entries are skipped at pop time, and the heap is compacted
+/// whenever tombstones outnumber live entries, so long runs that schedule
+/// and cancel far-future events stay bounded in memory.
 class EventQueue {
  public:
   /// \brief Schedules `cb` at absolute time `t`; returns a cancellation
@@ -33,14 +35,15 @@ class EventQueue {
   EventId Schedule(SimTime t, EventCallback cb);
 
   /// \brief Cancels a previously scheduled event. Cancelling an already
-  /// fired or already cancelled event is a harmless no-op.
+  /// fired or already cancelled event is a harmless no-op and leaves no
+  /// bookkeeping behind.
   void Cancel(EventId id);
 
   /// \brief True if no live event remains.
-  bool Empty();
+  bool Empty() const;
 
   /// \brief Time of the earliest live event; kNeverTime if empty.
-  SimTime NextTime();
+  SimTime NextTime() const;
 
   /// \brief Removes and returns the earliest live event.
   ///
@@ -49,6 +52,12 @@ class EventQueue {
 
   /// \brief Number of live (scheduled, not yet fired or cancelled) events.
   size_t LiveCount() const { return pending_.size(); }
+
+  /// \brief Number of cancelled-but-not-yet-reclaimed heap entries.
+  ///
+  /// Exposed for tests/diagnostics; bounded by LiveCount() + a constant via
+  /// amortized compaction.
+  size_t CancelledCount() const { return cancelled_.size(); }
 
  private:
   struct Entry {
@@ -62,15 +71,27 @@ class EventQueue {
       return a.time > b.time || (a.time == b.time && a.id > b.id);
     }
   };
+  // Exposes the protected underlying container so compaction can drop
+  // tombstoned entries in one O(n) pass instead of popping one by one.
+  struct Heap : std::priority_queue<Entry, std::vector<Entry>, EntryLater> {
+    std::vector<Entry>& entries() { return c; }
+  };
 
   /// \brief Drops cancelled entries from the queue head.
-  void SkipCancelled();
+  void SkipCancelled() const;
 
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  /// \brief Rebuilds the heap without tombstoned entries once they
+  /// outnumber live ones (amortized O(1) per cancel).
+  void CompactIfNeeded();
+
+  // Lazy cancellation mutates the heap/tombstones from logically-const
+  // queries (Empty/NextTime), hence mutable.
+  mutable Heap queue_;
   /// Ids scheduled but not yet fired or cancelled. Guards Cancel against
-  /// ids that already fired (a stale cancel must be a no-op).
+  /// ids that already fired (a stale cancel must be a no-op and must not
+  /// grow cancelled_).
   std::unordered_set<EventId> pending_;
-  std::unordered_set<EventId> cancelled_;
+  mutable std::unordered_set<EventId> cancelled_;
   EventId next_id_ = 1;
 };
 

@@ -57,6 +57,89 @@ TEST(EventQueueTest, CancelInvalidIsNoop) {
   EXPECT_TRUE(q.Empty());
 }
 
+TEST(EventQueueTest, StaleCancelsLeaveNoTombstones) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(q.Schedule(10 * (i + 1), [](SimTime) {}));
+  }
+  // Fire everything, then cancel each fired id repeatedly: every stale
+  // cancel must be a no-op, leaving cancelled_ empty and LiveCount() exact.
+  while (!q.Empty()) {
+    SimTime t;
+    q.Pop(&t)(t);
+  }
+  EXPECT_EQ(q.LiveCount(), 0u);
+  for (int round = 0; round < 3; ++round) {
+    for (EventId id : ids) q.Cancel(id);
+  }
+  EXPECT_EQ(q.CancelledCount(), 0u);
+  EXPECT_EQ(q.LiveCount(), 0u);
+
+  // Mixed case: one live event plus stale cancels; the live count and the
+  // tombstone count track only real state.
+  EventId live = q.Schedule(1000, [](SimTime) {});
+  for (EventId id : ids) q.Cancel(id);
+  EXPECT_EQ(q.LiveCount(), 1u);
+  EXPECT_EQ(q.CancelledCount(), 0u);
+  q.Cancel(live);
+  EXPECT_EQ(q.LiveCount(), 0u);
+  q.Cancel(live);  // double cancel: no second tombstone
+  EXPECT_LE(q.CancelledCount(), 1u);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.CancelledCount(), 0u);  // Empty() reclaimed the head tombstone
+}
+
+TEST(EventQueueTest, CancelHeavyRunsStayCompact) {
+  // Schedule far-future events and cancel them long before they surface:
+  // lazy head-skipping alone would never reclaim these, so the amortized
+  // compaction must keep tombstones bounded by the live count + slack.
+  EventQueue q;
+  for (int wave = 0; wave < 100; ++wave) {
+    std::vector<EventId> wave_ids;
+    for (int i = 0; i < 100; ++i) {
+      wave_ids.push_back(q.Schedule(1'000'000 + wave * 100 + i,
+                                    [](SimTime) {}));
+    }
+    for (EventId id : wave_ids) q.Cancel(id);
+    EXPECT_EQ(q.LiveCount(), 0u);
+    EXPECT_LE(q.CancelledCount(), 128u) << "wave " << wave;
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, CompactionPreservesOrderAndLiveEvents) {
+  EventQueue q;
+  std::vector<EventId> doomed;
+  std::vector<int> fired;
+  // Interleave keepers with a tombstone-heavy cancel wave that forces at
+  // least one compaction, then verify firing order of the survivors.
+  for (int i = 0; i < 10; ++i) {
+    int tag = 9 - i;
+    q.Schedule(100 + 10 * tag, [&fired, tag](SimTime) { fired.push_back(tag); });
+  }
+  for (int i = 0; i < 500; ++i) {
+    doomed.push_back(q.Schedule(10'000 + i, [](SimTime) {}));
+  }
+  for (EventId id : doomed) q.Cancel(id);
+  EXPECT_EQ(q.LiveCount(), 10u);
+  EXPECT_LE(q.CancelledCount(), 128u);
+  while (!q.Empty()) {
+    SimTime t;
+    q.Pop(&t)(t);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(EventQueueTest, ConstQueriesWorkOnConstQueue) {
+  EventQueue q;
+  q.Schedule(42, [](SimTime) {});
+  const EventQueue& const_q = q;
+  EXPECT_FALSE(const_q.Empty());
+  EXPECT_EQ(const_q.NextTime(), 42);
+  EXPECT_EQ(const_q.LiveCount(), 1u);
+}
+
 TEST(EventQueueTest, NextTimeReflectsHead) {
   EventQueue q;
   EXPECT_EQ(q.NextTime(), kNeverTime);

@@ -41,6 +41,37 @@ TEST(HistogramTest, FractionAtMost) {
   EXPECT_NEAR(h.FractionAtMost(0.5), 0.0, 0.001);
 }
 
+TEST(HistogramTest, FractionAtMostExcludesValuesAboveThreshold) {
+  // Regression: with growth 2.0 the bucket ranges are (1,2], (2,4], (4,8].
+  // 3.0 and 3.5 share the (2,4] bucket; a threshold of 3.0 inside that
+  // bucket must not count either of them (bucket-granular lower bound) —
+  // the old code counted both, reporting 3.5 <= 3.0.
+  Histogram h(1.0, 2.0);
+  h.Add(1.5);  // bucket (1,2]
+  h.Add(3.0);  // bucket (2,4]
+  h.Add(3.5);  // bucket (2,4]
+  h.Add(5.0);  // bucket (4,8]
+  EXPECT_NEAR(h.FractionAtMost(3.0), 0.25, 1e-12);   // only 1.5 is certain
+  EXPECT_NEAR(h.FractionAtMost(3.75), 0.25, 1e-12);  // still mid-bucket
+  EXPECT_NEAR(h.FractionAtMost(4.0), 0.75, 1e-12);   // exact upper bound
+  EXPECT_NEAR(h.FractionAtMost(8.0), 1.0, 1e-12);
+}
+
+TEST(HistogramTest, FractionAtMostIsLowerBoundOfTrueFraction) {
+  Histogram h(0.01, 1.05);
+  int at_most = 0;
+  const double threshold = 1.37;
+  for (int i = 1; i <= 500; ++i) {
+    double v = 0.01 * static_cast<double>(i);
+    h.Add(v);
+    if (v <= threshold) ++at_most;
+  }
+  double exact = static_cast<double>(at_most) / 500.0;
+  EXPECT_LE(h.FractionAtMost(threshold), exact + 1e-12);
+  // Pessimism is bounded by one bucket's mass (relative width growth - 1).
+  EXPECT_GE(h.FractionAtMost(threshold), exact - 0.06);
+}
+
 TEST(HistogramTest, MergeCombinesCounts) {
   Histogram a, b;
   a.Add(1.0);

@@ -1,0 +1,71 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace thrifty {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  auto future = pool.Submit([] {});
+  future.get();
+}
+
+TEST(ThreadPoolTest, PropagatesTaskExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] {});
+  auto bad = pool.Submit([] { throw std::runtime_error("trial failed"); });
+  auto after = pool.Submit([] {});
+  ok.get();
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  after.get();  // the worker survived the throwing task
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+    }
+  }  // destructor must finish all 50 before joining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksRunOffTheCallingThread) {
+  ThreadPool pool(2);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id worker;
+  pool.Submit([&worker] { worker = std::this_thread::get_id(); }).get();
+  EXPECT_NE(worker, caller);
+}
+
+}  // namespace
+}  // namespace thrifty
