@@ -1,0 +1,243 @@
+// Solver-scaling bench: tracks the *intra-solve* parallelism delivered by
+// --solver-jobs across the three threaded stages — workload composition
+// (GenerateWorkload), the two-step heuristic, and the exact branch-and-
+// bound — at solver_jobs = 1, 2, 4.
+//
+// The headline result is determinism: every stage's output fingerprint
+// must be identical across job counts (the rows of the results table, and
+// hence the results fingerprint, certify it). Wall-clock per stage and job
+// count is reported as metrics, never fingerprinted; on a single-core
+// container the speedup is not demonstrable and fingerprint identity alone
+// is the correctness claim (see the caveat emitted into the JSON).
+//
+// Extra flags (before the shared ones): --tenants=N (default 2000) sizes
+// the workload/two-step stage; --exact-tenants=N (default 12) sizes the
+// synthetic exact-solver instance.
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+/// Incremental FNV-1a, so fingerprinting a multi-GB activity set never
+/// materializes one giant string.
+uint64_t Fold(uint64_t hash, const std::string& text) {
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+std::string Hex(uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+double Seconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace thrifty;
+  using namespace thrifty::bench;
+
+  const std::string bench_name = "solver_scaling";
+  int num_tenants = 2000;
+  int exact_tenants = 12;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--tenants=", 10) == 0) {
+      num_tenants = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--exact-tenants=", 16) == 0) {
+      exact_tenants = std::atoi(argv[i] + 16);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  BenchOptions options = ParseBenchArgs(static_cast<int>(passthrough.size()),
+                                        passthrough.data(), bench_name);
+  BenchReport report(bench_name, options);
+
+  PrintBanner("Solver scaling: --solver-jobs inside one solve",
+              "workload T=" + std::to_string(num_tenants) +
+                  ", two-step on the same instance, exact B&B on " +
+                  std::to_string(exact_tenants) +
+                  " synthetic tenants; solver_jobs swept over {1, 2, 4} "
+                  "(the bench's own --solver-jobs flag is ignored). "
+                  "Fingerprints must be identical per stage.");
+
+  QueryCatalog catalog = QueryCatalog::Default();
+  const int jobs_list[] = {1, 2, 4};
+  TablePrinter table({"stage", "solver_jobs", "fingerprint", "detail"});
+
+  // --- Stage 1: workload composition ---------------------------------
+  Workload base_workload;
+  std::vector<uint64_t> workload_fps;
+  for (int jobs : jobs_list) {
+    ExperimentConfig config;
+    config.num_tenants = num_tenants;
+    config.seed = options.seed;
+    config.solver_jobs = jobs;
+    auto t0 = std::chrono::steady_clock::now();
+    Workload workload = GenerateWorkload(catalog, config);
+    report.AddMetric("workload_seconds_jobs" + std::to_string(jobs),
+                     Seconds(t0));
+
+    uint64_t fp = kFnvBasis;
+    for (size_t i = 0; i < workload.activity.size(); ++i) {
+      std::ostringstream os;
+      os << workload.tenants[i].id << ":"
+         << workload.tenants[i].time_zone_offset_hours << ";";
+      for (const auto& iv : workload.activity[i].intervals()) {
+        os << iv.begin << "-" << iv.end << ",";
+      }
+      fp = Fold(fp, os.str());
+    }
+    workload_fps.push_back(fp);
+    table.AddRow({"workload", std::to_string(jobs), Hex(fp),
+                  "avg_active=" +
+                      FormatPercent(workload.average_active_ratio, 2)});
+    if (jobs == 1) base_workload = std::move(workload);
+  }
+
+  // --- Stage 2: two-step heuristic on the shared instance -------------
+  ExperimentConfig base_config;
+  base_config.num_tenants = num_tenants;
+  base_config.seed = options.seed;
+  const auto vectors = EpochizeWorkload(base_workload, base_config.epoch_size);
+  auto problem = MakePackingProblem(base_workload.tenants, vectors,
+                                    base_config.replication_factor,
+                                    base_config.sla_fraction);
+  if (!problem.ok()) {
+    std::cerr << "problem construction failed: " << problem.status() << "\n";
+    return 1;
+  }
+  std::vector<uint64_t> two_step_fps;
+  for (int jobs : jobs_list) {
+    TwoStepOptions two_step_options;
+    two_step_options.solver_jobs = jobs;
+    auto solution = SolveTwoStep(*problem, two_step_options);
+    if (!solution.ok()) {
+      std::cerr << "two-step failed: " << solution.status() << "\n";
+      return 1;
+    }
+    Status valid = VerifySolution(*problem, *solution);
+    if (!valid.ok()) {
+      std::cerr << "two-step solution invalid: " << valid << "\n";
+      return 1;
+    }
+    report.AddMetric("two_step_seconds_jobs" + std::to_string(jobs),
+                     solution->solve_seconds);
+
+    uint64_t fp = kFnvBasis;
+    for (const auto& group : solution->groups) {
+      std::ostringstream os;
+      os << group.max_nodes << "[";
+      for (TenantId id : group.tenant_ids) os << id << ",";
+      os << "];";
+      fp = Fold(fp, os.str());
+    }
+    two_step_fps.push_back(fp);
+    table.AddRow(
+        {"two_step", std::to_string(jobs), Hex(fp),
+         "groups=" + std::to_string(solution->groups.size()) + " nodes=" +
+             std::to_string(solution->NodesUsed(
+                 base_config.replication_factor))});
+  }
+
+  // --- Stage 3: exact branch-and-bound on a synthetic instance --------
+  // Overlapping random spans at R=2, P=0.95 keep the B&B tree constrained
+  // enough to finish in seconds while still branching widely.
+  const size_t exact_epochs = 240;
+  Rng exact_rng(options.SeedOr(42) ^ 0xe9ac7ull);
+  std::vector<ActivityVector> exact_activities;
+  std::vector<TenantSpec> exact_specs;
+  const int exact_sizes[] = {2, 4};
+  for (int id = 1; id <= exact_tenants; ++id) {
+    DynamicBitmap bits(exact_epochs);
+    size_t begin = exact_rng.NextBounded(exact_epochs);
+    bits.SetRange(begin, begin + 10 + exact_rng.NextBounded(60));
+    exact_activities.push_back(
+        ActivityVector::FromBitmap(static_cast<TenantId>(id), bits));
+    TenantSpec spec;
+    spec.id = static_cast<TenantId>(id);
+    spec.requested_nodes = exact_sizes[exact_rng.NextBounded(2)];
+    exact_specs.push_back(spec);
+  }
+  auto exact_problem = MakePackingProblem(exact_specs, exact_activities,
+                                          /*replication_factor=*/2,
+                                          /*sla_fraction=*/0.95);
+  if (!exact_problem.ok()) {
+    std::cerr << "exact problem construction failed: "
+              << exact_problem.status() << "\n";
+    return 1;
+  }
+  std::vector<uint64_t> exact_fps;
+  for (int jobs : jobs_list) {
+    ExactSolverOptions exact_options;
+    exact_options.solver_jobs = jobs;
+    auto t0 = std::chrono::steady_clock::now();
+    auto solution = SolveExact(*exact_problem, exact_options);
+    if (!solution.ok()) {
+      std::cerr << "exact solver failed: " << solution.status() << "\n";
+      return 1;
+    }
+    report.AddMetric("exact_seconds_jobs" + std::to_string(jobs),
+                     Seconds(t0));
+
+    uint64_t fp = kFnvBasis;
+    for (const auto& group : solution->groups) {
+      std::ostringstream os;
+      os << group.max_nodes << "[";
+      for (TenantId id : group.tenant_ids) os << id << ",";
+      os << "];";
+      fp = Fold(fp, os.str());
+    }
+    exact_fps.push_back(fp);
+    table.AddRow({"exact", std::to_string(jobs), Hex(fp),
+                  "groups=" + std::to_string(solution->groups.size()) +
+                      " nodes=" + std::to_string(solution->NodesUsed(2))});
+  }
+
+  table.Print(std::cout);
+
+  auto all_equal = [](const std::vector<uint64_t>& fps) {
+    for (uint64_t fp : fps) {
+      if (fp != fps.front()) return false;
+    }
+    return true;
+  };
+  const bool identical = all_equal(workload_fps) && all_equal(two_step_fps) &&
+                         all_equal(exact_fps);
+  std::cout << "\nfingerprint identity across solver_jobs {1, 2, 4}: "
+            << (identical ? "PASS" : "FAIL") << "\n";
+
+  report.SetResultsTable(table);
+  report.AddMetric("fingerprints_identical", identical ? 1 : 0);
+  report.AddText("identity_check",
+                 identical ? "jobs1==jobs2==jobs4 for every stage"
+                           : "MISMATCH — parallel solver is nondeterministic");
+  report.AddText("speedup_caveat",
+                 "speedups are only meaningful on a multi-core machine; on "
+                 "a 1-core container time-slicing overhead can make "
+                 "solver_jobs>1 slower while fingerprints stay identical");
+  report.Write();
+  return identical ? 0 : 1;
+}

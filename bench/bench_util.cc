@@ -17,6 +17,10 @@ namespace {
   os << "usage: " << bench_name << " [options]\n"
      << "  --jobs=N     run sweep trials on N worker threads (default 1);\n"
      << "               results are bit-identical for any N\n"
+     << "  --solver-jobs=N\n"
+     << "               thread each solve / workload composition on N\n"
+     << "               workers (default 1; composes with --jobs);\n"
+     << "               results are bit-identical for any N\n"
      << "  --seed=S     base seed for deterministic trial streams\n"
      << "  --out=DIR    directory for BENCH_" << bench_name
      << ".json (default .)\n"
@@ -98,6 +102,16 @@ BenchOptions ParseBenchArgs(int argc, char** argv,
                   << value << "'\n";
         std::exit(2);
       }
+    } else if (MatchValueFlag(argc, argv, &i, "--solver-jobs", &value)) {
+      char* end = nullptr;
+      options.solver_jobs =
+          static_cast<int>(std::strtol(value.c_str(), &end, 10));
+      if (value.empty() || *end != '\0' || options.solver_jobs < 1) {
+        std::cerr << bench_name
+                  << ": --solver-jobs needs a positive integer, got '"
+                  << value << "'\n";
+        std::exit(2);
+      }
     } else if (MatchValueFlag(argc, argv, &i, "--seed", &value)) {
       char* end = nullptr;
       options.seed = std::strtoull(value.c_str(), &end, 10);
@@ -164,8 +178,10 @@ void BenchReport::Write() {
                 static_cast<unsigned long long>(Fnv1a64(results_table_)));
 
   std::cout << "\n[" << bench_name_ << "] wall " << FormatDouble(wall_seconds, 2)
-            << "s, jobs=" << options_.jobs << ", seed=" << options_.seed
-            << ", results fingerprint " << fingerprint << "\n";
+            << "s, jobs=" << options_.jobs
+            << ", solver_jobs=" << options_.solver_jobs
+            << ", seed=" << options_.seed << ", results fingerprint "
+            << fingerprint << "\n";
 
   if (!options_.write_json) return;
   std::string json;
@@ -174,6 +190,7 @@ void BenchReport::Write() {
   AppendJsonEscaped(bench_name_, &json);
   json += "\",\n";
   json += "  \"jobs\": " + std::to_string(options_.jobs) + ",\n";
+  json += "  \"solver_jobs\": " + std::to_string(options_.solver_jobs) + ",\n";
   json += "  \"seed\": " + std::to_string(options_.seed) + ",\n";
   json += "  \"wall_seconds\": " + JsonNumber(wall_seconds) + ",\n";
   json += "  \"results_fnv1a\": \"";
@@ -230,6 +247,7 @@ Workload GenerateWorkload(const QueryCatalog& catalog,
   workload.tenants = std::move(tenants).value();
   LogComposerOptions composer_options = config.composer;
   composer_options.horizon_days = config.horizon_days;
+  composer_options.jobs = config.solver_jobs;
   LogComposer composer(&library, composer_options);
   Rng compose_rng = rng.Fork(3);
   auto activity = composer.ComposeActivity(&workload.tenants, &compose_rng);
@@ -270,15 +288,19 @@ std::vector<ActivityVector> EpochizeWorkload(const Workload& workload,
 
 SolverRow RunSolver(GroupingSolver solver, const Workload& workload,
                     const std::vector<ActivityVector>& vectors,
-                    int replication_factor, double sla_fraction) {
+                    int replication_factor, double sla_fraction,
+                    int solver_jobs) {
   auto problem = MakePackingProblem(workload.tenants, vectors,
                                     replication_factor, sla_fraction);
   if (!problem.ok()) {
     std::cerr << "problem construction failed: " << problem.status() << "\n";
     std::exit(1);
   }
-  auto solution = solver == GroupingSolver::kTwoStep ? SolveTwoStep(*problem)
-                                                     : SolveFfd(*problem);
+  TwoStepOptions two_step_options;
+  two_step_options.solver_jobs = solver_jobs;
+  auto solution = solver == GroupingSolver::kTwoStep
+                      ? SolveTwoStep(*problem, two_step_options)
+                      : SolveFfd(*problem);
   if (!solution.ok()) {
     std::cerr << "solver failed: " << solution.status() << "\n";
     std::exit(1);
@@ -302,12 +324,12 @@ SolverRow RunSolver(GroupingSolver solver, const Workload& workload,
 
 std::vector<SolverRow> RunBothSolvers(
     const Workload& workload, const std::vector<ActivityVector>& vectors,
-    int replication_factor, double sla_fraction) {
+    int replication_factor, double sla_fraction, int solver_jobs) {
   return {
       RunSolver(GroupingSolver::kFfd, workload, vectors, replication_factor,
-                sla_fraction),
+                sla_fraction, solver_jobs),
       RunSolver(GroupingSolver::kTwoStep, workload, vectors,
-                replication_factor, sla_fraction),
+                replication_factor, sla_fraction, solver_jobs),
   };
 }
 

@@ -23,6 +23,13 @@ namespace bench {
 struct BenchOptions {
   /// Worker threads for the trial sweep (--jobs=N). 1 = sequential.
   int jobs = 1;
+  /// Worker threads *inside* one solve / one workload composition
+  /// (--solver-jobs=N): candidate-evaluation sharding in the two-step
+  /// heuristic, parallel branch-and-bound subtrees in the exact solver,
+  /// and tenant-sharded log composition. Composes multiplicatively with
+  /// --jobs (each concurrent trial gets its own solver pool). Results are
+  /// bit-identical for any value. 1 = sequential.
+  int solver_jobs = 1;
   /// Base seed for the sweep's deterministic trial streams (--seed=S).
   uint64_t seed = 42;
   /// True when --seed was passed explicitly (benches whose canonical
@@ -93,6 +100,9 @@ struct ExperimentConfig {
   double sla_fraction = 0.999;
   SimDuration epoch_size = 10 * kSecond;
   int horizon_days = 14;
+  /// Worker threads for log composition inside GenerateWorkload (and the
+  /// default for per-solve parallelism); output is jobs-invariant.
+  int solver_jobs = 1;
   /// Step-1 sessions generated per (node size, suite) class; the paper
   /// used 100.
   int sessions_per_class = 25;
@@ -128,17 +138,20 @@ struct SolverRow {
 };
 
 /// \brief Runs one solver over the epochized problem (verifying the
-/// solution) and summarizes it.
+/// solution) and summarizes it. `solver_jobs` threads the solve itself;
+/// the result is identical for any value.
 SolverRow RunSolver(GroupingSolver solver, const Workload& workload,
                     const std::vector<ActivityVector>& vectors,
-                    int replication_factor, double sla_fraction);
+                    int replication_factor, double sla_fraction,
+                    int solver_jobs = 1);
 
 /// \brief Runs FFD then the two-step heuristic.
 std::vector<SolverRow> RunBothSolvers(const Workload& workload,
                                       const std::vector<ActivityVector>&
                                           vectors,
                                       int replication_factor,
-                                      double sla_fraction);
+                                      double sla_fraction,
+                                      int solver_jobs = 1);
 
 /// \brief Prints a figure banner.
 void PrintBanner(const std::string& title, const std::string& description);

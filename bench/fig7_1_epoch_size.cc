@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   QueryCatalog catalog = QueryCatalog::Default();
   ExperimentConfig config;
   config.seed = options.seed;
+  config.solver_jobs = options.solver_jobs;
   const Workload workload = GenerateWorkload(catalog, config);
   ExperimentConfig short_config = config;
   short_config.horizon_days = 3;
@@ -60,7 +61,8 @@ int main(int argc, char** argv) {
         auto vectors = EpochizeWorkload(
             *point.workload, SecondsToDuration(point.epoch_seconds));
         return RunBothSolvers(*point.workload, vectors,
-                              config.replication_factor, config.sla_fraction);
+                              config.replication_factor, config.sla_fraction,
+                              options.solver_jobs);
       });
 
   TablePrinter table({"E (s)", "horizon (d)", "FFD eff.", "2-step eff.",

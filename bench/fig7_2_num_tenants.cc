@@ -38,13 +38,15 @@ int main(int argc, char** argv) {
         ExperimentConfig config;
         config.num_tenants = tenant_counts[context.trial_index];
         config.seed = options.seed;
+        config.solver_jobs = options.solver_jobs;
         Workload workload = GenerateWorkload(catalog, config);
         auto vectors = EpochizeWorkload(workload, config.epoch_size);
         PointResult result;
         result.active_ratio = workload.average_active_ratio;
         result.rows = RunBothSolvers(workload, vectors,
                                      config.replication_factor,
-                                     config.sla_fraction);
+                                     config.sla_fraction,
+                                     options.solver_jobs);
         return result;
       });
 

@@ -33,10 +33,11 @@ int main(int argc, char** argv) {
         ExperimentConfig config;
         config.zipf_theta = thetas[context.trial_index];
         config.seed = options.seed;
+        config.solver_jobs = options.solver_jobs;
         Workload workload = GenerateWorkload(catalog, config);
         auto vectors = EpochizeWorkload(workload, config.epoch_size);
         return RunBothSolvers(workload, vectors, config.replication_factor,
-                              config.sla_fraction);
+                              config.sla_fraction, options.solver_jobs);
       });
 
   TablePrinter table({"theta", "FFD eff.", "2-step eff.", "FFD grp",

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   QueryCatalog catalog = QueryCatalog::Default();
   ExperimentConfig config;
   config.seed = options.seed;
+  config.solver_jobs = options.solver_jobs;
   const Workload workload = GenerateWorkload(catalog, config);
   const auto vectors = EpochizeWorkload(workload, config.epoch_size);
 
@@ -40,7 +41,8 @@ int main(int argc, char** argv) {
       [&](TrialContext& context) {
         int r = replication_factors[context.trial_index / std::size(solvers)];
         GroupingSolver solver = solvers[context.trial_index % std::size(solvers)];
-        return RunSolver(solver, workload, vectors, r, config.sla_fraction);
+        return RunSolver(solver, workload, vectors, r, config.sla_fraction,
+                         options.solver_jobs);
       });
 
   TablePrinter table({"R", "FFD eff.", "2-step eff.", "FFD grp",

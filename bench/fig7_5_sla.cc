@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   QueryCatalog catalog = QueryCatalog::Default();
   ExperimentConfig config;
   config.seed = options.seed;
+  config.solver_jobs = options.solver_jobs;
   const Workload workload = GenerateWorkload(catalog, config);
   const auto vectors = EpochizeWorkload(workload, config.epoch_size);
 
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
         double p = sla_fractions[context.trial_index / std::size(solvers)];
         GroupingSolver solver = solvers[context.trial_index % std::size(solvers)];
         return RunSolver(solver, workload, vectors, config.replication_factor,
-                         p);
+                         p, options.solver_jobs);
       });
 
   TablePrinter table({"P", "FFD eff.", "2-step eff.", "FFD grp",

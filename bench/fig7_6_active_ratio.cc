@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
         const Scenario& scenario = scenarios[context.trial_index];
         ExperimentConfig config;
         config.seed = options.seed;
+        config.solver_jobs = options.solver_jobs;
         config.composer.offset_hours = scenario.offsets;
         config.composer.lunch_break = scenario.lunch;
         Workload workload = GenerateWorkload(catalog, config);
@@ -73,7 +74,8 @@ int main(int argc, char** argv) {
         auto vectors = EpochizeWorkload(workload, config.epoch_size);
         result.rows = RunBothSolvers(workload, vectors,
                                      config.replication_factor,
-                                     config.sla_fraction);
+                                     config.sla_fraction,
+                                     options.solver_jobs);
         return result;
       });
 

@@ -1,5 +1,9 @@
 #include "common/thread_pool.h"
 
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
 #include <utility>
 
 namespace thrifty {
@@ -44,6 +48,66 @@ void ThreadPool::WorkerLoop() {
     }
     task();  // exceptions land in the task's future, not the worker
   }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor: helpers hold it via shared_ptr so a
+/// helper scheduled after the caller has already drained every index (and
+/// returned) still touches live memory.
+struct ParallelForState {
+  ParallelForState(size_t total, const std::function<void(size_t)>& body)
+      : n(total), fn(body) {}
+
+  const size_t n;
+  std::function<void(size_t)> fn;
+  std::atomic<size_t> next{0};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;
+  size_t error_index = SIZE_MAX;
+  std::exception_ptr error;
+
+  /// Claims and runs indices until none remain. Every claimed index counts
+  /// toward `done` even when fn throws, so the caller's wait terminates.
+  void Drain() {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      std::exception_ptr caught;
+      try {
+        fn(i);
+      } catch (...) {
+        caught = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (caught && i < error_index) {
+        error_index = i;
+        error = caught;
+      }
+      if (++done == n) cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || pool->size() == 0 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<ParallelForState>(n, fn);
+  size_t helpers = pool->size() < n - 1 ? pool->size() : n - 1;
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state] { state->Drain(); });  // fire-and-forget
+  }
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done == state->n; });
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace thrifty

@@ -48,6 +48,25 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// \brief Runs `fn(i)` for every i in [0, n), on the pool's workers plus
+/// the calling thread.
+///
+/// Work items are drained from a shared atomic counter, so the partition of
+/// indices across threads is load-balanced and scheduling-dependent — `fn`
+/// must therefore write only to per-index state (callers that need a
+/// deterministic result reduce the per-index slots afterwards, in index
+/// order). The calling thread participates and helper tasks are
+/// fire-and-forget (they keep the shared state alive and exit as soon as no
+/// index remains), so nesting ParallelFor inside a pool task cannot
+/// deadlock: the innermost caller drains its own work even when every
+/// worker is busy.
+///
+/// A null `pool` (or n <= 1) runs everything inline on the calling thread.
+/// If one or more invocations throw, every index still runs and the
+/// exception of the lowest failing index is rethrown.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
 }  // namespace thrifty
 
 #endif  // THRIFTY_COMMON_THREAD_POOL_H_

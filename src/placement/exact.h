@@ -17,8 +17,18 @@
 namespace thrifty {
 
 struct ExactSolverOptions {
-  /// Search-node budget; the solver fails with CapacityExceeded beyond it.
+  /// Search-node budget; the solver fails with CapacityExceeded beyond it
+  /// (the status message reports the visited count and the budget). Under
+  /// solver_jobs > 1 the count is a shared atomic, so the exact node total
+  /// at exhaustion may vary across runs; the returned solution, when the
+  /// budget suffices, never does.
   int64_t max_search_nodes = 20'000'000;
+  /// Worker threads: independent branch-and-bound subtrees (a canonical
+  /// breadth-first frontier of assignment prefixes) are searched in
+  /// parallel against a shared incumbent bound. The returned solution is
+  /// identical for every value: equal-cost incumbents are resolved by
+  /// canonical subtree order, not completion order. 1 = the serial search.
+  int solver_jobs = 1;
 };
 
 /// \brief Finds a provably optimal grouping.

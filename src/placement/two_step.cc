@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <map>
+#include <memory>
+#include <utility>
 
 #include "activity/level_set.h"
+#include "common/thread_pool.h"
 
 namespace thrifty {
 
@@ -26,10 +30,180 @@ int CompareCandidateLevels(const std::vector<size_t>& a,
   return 0;
 }
 
-Result<GroupingSolution> SolveTwoStep(const PackingProblem& problem) {
+namespace {
+
+/// The argmin's update rule: whether a candidate with outcome `pops`
+/// replaces the current best. An empty `best_pops` (no best yet, or a best
+/// whose EvaluateAdd outcome was empty — an all-zero tenant joining an
+/// all-zero group) is replaced unconditionally; members sorted by
+/// (activity, id) make that equivalent to the Fig 5.3 total order, so the
+/// rule commutes with sharding.
+bool TakesOver(const std::vector<size_t>& best_pops, TenantId best_id,
+               const std::vector<size_t>& pops, TenantId id) {
+  if (best_pops.empty()) return true;
+  int cmp = CompareCandidateLevels(pops, best_pops);
+  return cmp < 0 || (cmp == 0 && id > best_id);
+}
+
+/// The remaining-candidate list of one initial group. Removal tombstones
+/// the slot and the array is compacted once dead slots outnumber live
+/// ones, so a whole solve costs amortized O(1) per removal instead of the
+/// former quadratic mid-vector erase — while live slots keep their original
+/// sorted order, which the Fig 5.3 tie-breaks depend on.
+class CandidateList {
+ public:
+  explicit CandidateList(std::vector<const PackingItem*> members)
+      : slots_(std::move(members)), live_(slots_.size()) {}
+
+  bool Empty() const { return live_ == 0; }
+
+  /// Raw slot array; tombstoned entries are nullptr.
+  const std::vector<const PackingItem*>& slots() const { return slots_; }
+  /// First possibly-live raw slot.
+  size_t head() const { return head_; }
+
+  /// Removes and returns the least active remaining tenant.
+  const PackingItem* PopFront() {
+    const PackingItem* item = slots_[head_];
+    RemoveSlot(head_);
+    return item;
+  }
+
+  void RemoveSlot(size_t s) {
+    slots_[s] = nullptr;
+    --live_;
+    while (head_ < slots_.size() && slots_[head_] == nullptr) ++head_;
+    if (slots_.size() - head_ > 2 * live_) Compact();
+  }
+
+ private:
+  void Compact() {
+    slots_.erase(slots_.begin(), slots_.begin() + static_cast<ptrdiff_t>(head_));
+    slots_.erase(std::remove(slots_.begin(), slots_.end(), nullptr),
+                 slots_.end());
+    head_ = 0;
+  }
+
+  std::vector<const PackingItem*> slots_;
+  size_t head_ = 0;
+  size_t live_ = 0;
+};
+
+struct BestCandidate {
+  std::vector<size_t> pops;
+  const PackingItem* item = nullptr;
+  size_t slot = 0;
+};
+
+/// Left-to-right scan of raw slots [lo, hi), skipping tombstones — the
+/// serial argmin, reused verbatim as the per-shard scan.
+void ScanShard(const GroupLevelSet& levels,
+               const std::vector<const PackingItem*>& slots, size_t lo,
+               size_t hi, BestCandidate* best) {
+  for (size_t s = lo; s < hi; ++s) {
+    const PackingItem* item = slots[s];
+    if (item == nullptr) continue;
+    std::vector<size_t> pops = levels.EvaluateAdd(*item->activity);
+    if (best->item == nullptr ||
+        TakesOver(best->pops, best->item->tenant_id, pops,
+                  item->tenant_id)) {
+      best->pops = std::move(pops);
+      best->item = item;
+      best->slot = s;
+    }
+  }
+}
+
+/// Below this many raw slots per shard the fan-out costs more than the
+/// scan. Shard count is a function of the (deterministic) slot range only,
+/// and the merged winner is shard-independent anyway.
+constexpr size_t kMinShardSlots = 192;
+
+BestCandidate FindBestCandidate(const GroupLevelSet& levels,
+                                const CandidateList& remaining,
+                                ThreadPool* pool) {
+  const auto& slots = remaining.slots();
+  const size_t lo = remaining.head();
+  const size_t span = slots.size() - lo;
+  size_t shards = pool == nullptr ? 1 : pool->size() + 1;
+  if (shards > span / kMinShardSlots) shards = span / kMinShardSlots;
+  if (shards <= 1) {
+    BestCandidate best;
+    ScanShard(levels, slots, lo, slots.size(), &best);
+    return best;
+  }
+  std::vector<BestCandidate> bests(shards);
+  ParallelFor(pool, shards, [&](size_t k) {
+    ScanShard(levels, slots, lo + span * k / shards,
+              lo + span * (k + 1) / shards, &bests[k]);
+  });
+  // Reduce shard winners in ascending shard order with the same update
+  // rule, so the merged winner equals the serial left-to-right scan's.
+  BestCandidate best;
+  for (BestCandidate& shard_best : bests) {
+    if (shard_best.item == nullptr) continue;
+    if (best.item == nullptr ||
+        TakesOver(best.pops, best.item->tenant_id, shard_best.pops,
+                  shard_best.item->tenant_id)) {
+      best = std::move(shard_best);
+    }
+  }
+  return best;
+}
+
+/// Step 2 over one initial group (all members request `nodes` nodes).
+std::vector<TenantGroupResult> SolveInitialGroup(
+    const PackingProblem& problem, int nodes,
+    std::vector<const PackingItem*> members, ThreadPool* pool) {
+  const int r = problem.replication_factor;
+  // Seeding picks the least active tenant first; sorting the whole list by
+  // activity makes that the front element at every iteration.
+  std::sort(members.begin(), members.end(),
+            [](const PackingItem* a, const PackingItem* b) {
+              size_t aa = a->activity->ActiveEpochs();
+              size_t bb = b->activity->ActiveEpochs();
+              if (aa != bb) return aa < bb;
+              return a->tenant_id < b->tenant_id;
+            });
+  CandidateList remaining(std::move(members));
+
+  std::vector<TenantGroupResult> groups;
+  while (!remaining.Empty()) {
+    GroupLevelSet levels(problem.num_epochs);
+    TenantGroupResult group;
+    group.max_nodes = nodes;
+
+    // Seed with the least active remaining tenant.
+    const PackingItem* seed = remaining.PopFront();
+    levels.Add(*seed->activity);
+    group.tenant_ids.push_back(seed->tenant_id);
+
+    // Grow: per Algorithm 2, pick T_best by the max-active criterion and
+    // close the group if adding T_best would violate the SLA guarantee.
+    while (!remaining.Empty()) {
+      BestCandidate best = FindBestCandidate(levels, remaining, pool);
+      if (levels.TtpFromPopcounts(best.pops, r) + 1e-12 <
+          problem.sla_fraction) {
+        break;  // adding T_best would violate P; start a new tenant-group
+      }
+      remaining.RemoveSlot(best.slot);
+      levels.Add(*best.item->activity);
+      group.tenant_ids.push_back(best.item->tenant_id);
+    }
+
+    group.ttp = levels.Ttp(r);
+    group.max_active = levels.MaxActive();
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<GroupingSolution> SolveTwoStep(const PackingProblem& problem,
+                                      const TwoStepOptions& options) {
   THRIFTY_RETURN_NOT_OK(problem.Validate());
   auto start = std::chrono::steady_clock::now();
-  const int r = problem.replication_factor;
 
   // Step 1: initial groups by requested node count. Descending size so the
   // output lists big tenants first (cosmetic; groups are independent).
@@ -37,70 +211,30 @@ Result<GroupingSolution> SolveTwoStep(const PackingProblem& problem) {
   for (const auto& item : problem.items) {
     initial[item.nodes].push_back(&item);
   }
-
-  GroupingSolution solution;
+  std::vector<std::pair<int, std::vector<const PackingItem*>>> sized;
+  sized.reserve(initial.size());
   for (auto& [nodes, members] : initial) {
-    // Seeding picks the least active tenant first; sorting the whole list by
-    // activity makes that the front element at every iteration.
-    std::vector<const PackingItem*>& remaining = members;
-    std::sort(remaining.begin(), remaining.end(),
-              [](const PackingItem* a, const PackingItem* b) {
-                size_t aa = a->activity->ActiveEpochs();
-                size_t bb = b->activity->ActiveEpochs();
-                if (aa != bb) return aa < bb;
-                return a->tenant_id < b->tenant_id;
-              });
-
-    while (!remaining.empty()) {
-      GroupLevelSet levels(problem.num_epochs);
-      TenantGroupResult group;
-      group.max_nodes = nodes;
-
-      // Seed with the least active remaining tenant.
-      const PackingItem* seed = remaining.front();
-      remaining.erase(remaining.begin());
-      levels.Add(*seed->activity);
-      group.tenant_ids.push_back(seed->tenant_id);
-
-      // Grow: per Algorithm 2, pick T_best by the max-active criterion and
-      // close the group if adding T_best would violate the SLA guarantee.
-      while (!remaining.empty()) {
-        size_t best_index = 0;
-        std::vector<size_t> best_pops;
-        for (size_t i = 0; i < remaining.size(); ++i) {
-          std::vector<size_t> pops =
-              levels.EvaluateAdd(*remaining[i]->activity);
-          if (best_pops.empty()) {
-            best_pops = std::move(pops);
-            best_index = i;
-            continue;
-          }
-          int cmp = CompareCandidateLevels(pops, best_pops);
-          bool better =
-              cmp < 0 || (cmp == 0 && remaining[i]->tenant_id >
-                                          remaining[best_index]->tenant_id);
-          if (better) {
-            best_pops = std::move(pops);
-            best_index = i;
-          }
-        }
-        if (levels.TtpFromPopcounts(best_pops, r) + 1e-12 <
-            problem.sla_fraction) {
-          break;  // adding T_best would violate P; start a new tenant-group
-        }
-        const PackingItem* best = remaining[best_index];
-        remaining.erase(remaining.begin() +
-                        static_cast<ptrdiff_t>(best_index));
-        levels.Add(*best->activity);
-        group.tenant_ids.push_back(best->tenant_id);
-      }
-
-      group.ttp = levels.Ttp(r);
-      group.max_active = levels.MaxActive();
-      solution.groups.push_back(std::move(group));
-    }
+    sized.emplace_back(nodes, std::move(members));
   }
 
+  std::unique_ptr<ThreadPool> pool;
+  if (options.solver_jobs > 1) {
+    pool = std::make_unique<ThreadPool>(options.solver_jobs - 1);
+  }
+
+  // Node-size initial groups are independent: solve them as parallel tasks
+  // (each of which also shards its candidate argmin over the same pool) and
+  // splice the per-size results back in descending-size order.
+  std::vector<std::vector<TenantGroupResult>> per_size(sized.size());
+  ParallelFor(pool.get(), sized.size(), [&](size_t g) {
+    per_size[g] = SolveInitialGroup(problem, sized[g].first,
+                                    std::move(sized[g].second), pool.get());
+  });
+
+  GroupingSolution solution;
+  for (auto& groups : per_size) {
+    for (auto& group : groups) solution.groups.push_back(std::move(group));
+  }
   solution.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

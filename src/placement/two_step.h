@@ -32,8 +32,21 @@ namespace thrifty {
 int CompareCandidateLevels(const std::vector<size_t>& a,
                            const std::vector<size_t>& b);
 
+/// \brief Execution knobs of the two-step heuristic.
+struct TwoStepOptions {
+  /// Worker threads inside one solve: the group-grow candidate argmin is
+  /// sharded across workers and independent node-size initial groups run as
+  /// parallel tasks. The grouping is bit-identical for every value — the
+  /// Fig 5.3 criterion plus the tenant-id tie-break is a strict total
+  /// order, and shard winners are merged in canonical shard order — so
+  /// solver_jobs only changes wall-clock time. 1 = the serial code path.
+  int solver_jobs = 1;
+};
+
 /// \brief Solves the problem with the two-step heuristic.
-Result<GroupingSolution> SolveTwoStep(const PackingProblem& problem);
+Result<GroupingSolution> SolveTwoStep(const PackingProblem& problem,
+                                      const TwoStepOptions& options =
+                                          TwoStepOptions());
 
 }  // namespace thrifty
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <set>
 #include <string>
 #include <unordered_map>
+
+#include "common/thread_pool.h"
 
 namespace thrifty {
 
@@ -64,11 +67,17 @@ namespace {
 // sampling decision of §7.1 Step 2 and reports each placed session via
 // `visit(spec, session_start, session)`. The two entry points differ only
 // in what they do with a placed session.
+//
+// Every tenant samples from its own Rng stream (forked by tenant id), so
+// tenant composition is sharded across `pool` when one is given: `visit`
+// may then run concurrently for *distinct* tenants and must only touch
+// per-tenant state; calls for one tenant stay in session order on one
+// thread, so the composed output is byte-identical for any job count.
 template <typename Visitor>
 Status ForEachSession(const SessionLibrary& library,
                       const LogComposerOptions& options,
                       std::vector<TenantSpec>* tenants, Rng* rng,
-                      Visitor&& visit) {
+                      ThreadPool* pool, Visitor&& visit) {
   if (options.offset_hours.empty()) {
     return Status::InvalidArgument("offset_hours must not be empty");
   }
@@ -101,12 +110,15 @@ Status ForEachSession(const SessionLibrary& library,
   const SimDuration session_len = 3 * kHour;
   const SimDuration lunch = options.lunch_break ? 2 * kHour : 0;
 
-  for (auto& spec : *tenants) {
+  // Per-tenant composition; returns the first failing status, if any. Reads
+  // only const state (rng->Fork is pure) and writes only this tenant's spec
+  // plus whatever the visitor touches.
+  auto compose_tenant = [&](TenantSpec& spec) -> Status {
     Rng tenant_rng = rng->Fork(0x7e4a47ull * 31 +
                                static_cast<uint64_t>(spec.id) + 1);
     spec.time_zone_offset_hours = options.offset_hours[tenant_rng.NextBounded(
         options.offset_hours.size())];
-    const auto& holidays = holidays_by_zone[spec.time_zone_offset_hours];
+    const auto& holidays = holidays_by_zone.at(spec.time_zone_offset_hours);
 
     for (int day : weekdays) {
       if (holidays.count(day)) continue;
@@ -125,8 +137,24 @@ Status ForEachSession(const SessionLibrary& library,
         visit(spec, session_start, *session);
       }
     }
+    return Status::OK();
+  };
+
+  std::vector<Status> statuses(tenants->size());
+  ParallelFor(pool, tenants->size(), [&](size_t i) {
+    statuses[i] = compose_tenant((*tenants)[i]);
+  });
+  for (const Status& status : statuses) {
+    THRIFTY_RETURN_NOT_OK(status);
   }
   return Status::OK();
+}
+
+/// The composition pool, or null for the sequential path.
+std::unique_ptr<ThreadPool> MakeComposerPool(const LogComposerOptions& options,
+                                             size_t num_tenants) {
+  if (options.jobs <= 1 || num_tenants <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(options.jobs - 1);
 }
 
 }  // namespace
@@ -143,10 +171,13 @@ Result<std::vector<TenantLog>> LogComposer::Compose(
     log.tenant_id = spec.id;
     logs.push_back(std::move(log));
   }
+  std::unique_ptr<ThreadPool> pool =
+      MakeComposerPool(options_, tenants->size());
   THRIFTY_RETURN_NOT_OK(ForEachSession(
-      *library_, options_, tenants, rng,
+      *library_, options_, tenants, rng, pool.get(),
       [&](const TenantSpec& spec, SimTime session_start,
           const TenantLog& session) {
+        // Writes only this tenant's log slot; log_index is const by now.
         TenantLog& log = logs[log_index.at(spec.id)];
         for (const auto& e : session.entries) {
           SimTime submit = session_start + e.submit_time;
@@ -156,29 +187,54 @@ Result<std::vector<TenantLog>> LogComposer::Compose(
           log.entries.push_back(shifted);
         }
       }));
-  for (auto& log : logs) log.SortEntries();
+  ParallelFor(pool.get(), logs.size(),
+              [&](size_t i) { logs[i].SortEntries(); });
   return logs;
 }
 
 Result<std::vector<IntervalSet>> LogComposer::ComposeActivity(
     std::vector<TenantSpec>* tenants, Rng* rng) const {
   const SimTime horizon = horizon_end();
+  std::unique_ptr<ThreadPool> pool =
+      MakeComposerPool(options_, tenants->size());
+
   // Session activity intervals are expensive to recompute (union over
-  // hundreds of entries); cache one normalized set per library log.
-  std::unordered_map<const TenantLog*, IntervalSet> session_activity;
+  // hundreds of entries); precompute one normalized set per library log.
+  // Eagerly over the whole library — a lazily filled cache was shared
+  // mutable state across tenants, which tenant sharding cannot tolerate.
+  std::vector<const TenantLog*> sessions;
+  for (int nodes : library_->node_sizes()) {
+    for (QuerySuite suite : {QuerySuite::kTpch, QuerySuite::kTpcds}) {
+      auto pool_result = library_->SessionsFor(nodes, suite);
+      if (!pool_result.ok()) continue;
+      for (const TenantLog& session : **pool_result) {
+        sessions.push_back(&session);
+      }
+    }
+  }
+  std::vector<IntervalSet> session_sets(sessions.size());
+  ParallelFor(pool.get(), sessions.size(), [&](size_t i) {
+    session_sets[i] = sessions[i]->ActivityIntervals();
+  });
+  std::unordered_map<const TenantLog*, const IntervalSet*> session_activity;
+  session_activity.reserve(sessions.size());
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    session_activity.emplace(sessions[i], &session_sets[i]);
+  }
+
   std::vector<IntervalSet> activity(tenants->size());
   std::unordered_map<TenantId, size_t> index;
   for (size_t i = 0; i < tenants->size(); ++i) {
     index[(*tenants)[i].id] = i;
   }
   THRIFTY_RETURN_NOT_OK(ForEachSession(
-      *library_, options_, tenants, rng,
+      *library_, options_, tenants, rng, pool.get(),
       [&](const TenantSpec& spec, SimTime session_start,
           const TenantLog& session) {
-        auto [it, inserted] = session_activity.try_emplace(&session);
-        if (inserted) it->second = session.ActivityIntervals();
+        // Writes only this tenant's activity slot; the session cache and
+        // the index map are const by now.
         IntervalSet& out = activity[index.at(spec.id)];
-        for (const auto& iv : it->second.intervals()) {
+        for (const auto& iv : session_activity.at(&session)->intervals()) {
           SimTime begin = session_start + iv.begin;
           if (begin >= horizon) break;
           out.Add(begin, std::min(horizon, session_start + iv.end));

@@ -69,6 +69,11 @@ struct LogComposerOptions {
   int num_holidays = 2;
   /// Tenants rest on Saturday/Sunday (days 5 and 6 of each week).
   bool weekends_off = true;
+  /// Worker threads for composition. Every tenant's sampling runs on its
+  /// own forked Rng stream keyed by tenant id, so tenants are sharded
+  /// across workers and the composed logs/activity are byte-identical for
+  /// any value. 1 = sequential.
+  int jobs = 1;
 };
 
 /// \brief Composes multi-day tenant logs from Step-1 sessions.

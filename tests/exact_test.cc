@@ -96,6 +96,10 @@ TEST(ExactTest, BudgetExhaustionReportsCleanly) {
   options.max_search_nodes = 10;
   auto result = SolveExact(*problem, options);
   EXPECT_EQ(result.status().code(), StatusCode::kCapacityExceeded);
+  // The message must say how far the search got and what the budget was.
+  const std::string message = result.status().message();
+  EXPECT_NE(message.find("budget exhausted"), std::string::npos) << message;
+  EXPECT_NE(message.find("of 10 search nodes"), std::string::npos) << message;
 }
 
 TEST(ExactTest, RespectsFuzzyCapacityAtExactBoundary) {

@@ -206,5 +206,74 @@ TEST_P(LevelSetRandomized, MatchesBruteForce) {
 INSTANTIATE_TEST_SUITE_P(EpochCounts, LevelSetRandomized,
                          ::testing::Values(10, 63, 64, 65, 128, 200, 1000));
 
+// Property test: EvaluateAdd against a naive per-epoch recount of the
+// would-be group, without mutating the set. Candidates always include the
+// two degenerate vectors the grouping loop can feed it — all-zero (a tenant
+// with no activity) and full (active in every epoch).
+TEST(LevelSetTest, EvaluateAddMatchesNaiveRecount) {
+  for (size_t num_epochs : {10u, 64u, 130u}) {
+    Rng rng(num_epochs * 104729 + 7);
+    for (int trial = 0; trial < 8; ++trial) {
+      GroupLevelSet g(num_epochs);
+      std::vector<int> counts(num_epochs, 0);
+      int members = static_cast<int>(rng.NextInt(0, 8));
+      for (int t = 0; t < members; ++t) {
+        DynamicBitmap bits(num_epochs);
+        int runs = static_cast<int>(rng.NextInt(0, 3));
+        for (int r = 0; r < runs; ++r) {
+          size_t begin = rng.NextBounded(num_epochs);
+          bits.SetRange(begin, begin + 1 + rng.NextBounded(num_epochs / 2));
+        }
+        ActivityVector v =
+            ActivityVector::FromBitmap(static_cast<TenantId>(t), bits);
+        g.Add(v);
+        for (size_t k = 0; k < num_epochs; ++k) counts[k] += bits.Get(k);
+      }
+
+      std::vector<ActivityVector> candidates;
+      for (int c = 0; c < 5; ++c) {
+        DynamicBitmap bits(num_epochs);
+        int runs = static_cast<int>(rng.NextInt(0, 3));
+        for (int r = 0; r < runs; ++r) {
+          size_t begin = rng.NextBounded(num_epochs);
+          bits.SetRange(begin, begin + 1 + rng.NextBounded(num_epochs / 2));
+        }
+        candidates.push_back(ActivityVector::FromBitmap(100 + c, bits));
+      }
+      DynamicBitmap zero(num_epochs);
+      candidates.push_back(ActivityVector::FromBitmap(200, zero));
+      DynamicBitmap full(num_epochs);
+      full.SetRange(0, num_epochs);
+      candidates.push_back(ActivityVector::FromBitmap(201, full));
+
+      for (const auto& cand : candidates) {
+        int max_count = 0;
+        std::vector<int> would_be(counts);
+        for (size_t k = 0; k < num_epochs; ++k) {
+          would_be[k] += cand.Get(k) ? 1 : 0;
+          max_count = std::max(max_count, would_be[k]);
+        }
+        std::vector<size_t> expected(static_cast<size_t>(max_count), 0);
+        for (int c : would_be) {
+          for (int m = 1; m <= c; ++m) ++expected[m - 1];
+        }
+        EXPECT_EQ(g.EvaluateAdd(cand), expected)
+            << "epochs " << num_epochs << " trial " << trial << " candidate "
+            << cand.tenant_id();
+      }
+    }
+  }
+}
+
+TEST(LevelSetTest, EvaluateAddAllZeroCandidateOnEmptyGroupIsEmpty) {
+  GroupLevelSet g(64);
+  DynamicBitmap zero(64);
+  EXPECT_TRUE(g.EvaluateAdd(ActivityVector::FromBitmap(1, zero)).empty());
+  DynamicBitmap full(64);
+  full.SetRange(0, 64);
+  EXPECT_EQ(g.EvaluateAdd(ActivityVector::FromBitmap(2, full)),
+            (std::vector<size_t>{64}));
+}
+
 }  // namespace
 }  // namespace thrifty

@@ -1,6 +1,7 @@
 #include "workload/log_generator.h"
 
 #include <set>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -207,6 +208,67 @@ TEST_F(LogGeneratorTest, ComposeActivityMatchesComposedLogs) {
     IntervalSet direct = (*activity)[i].Clip(0, composer.horizon_end());
     EXPECT_EQ(from_logs.intervals(), direct.intervals())
         << "tenant " << (*logs)[i].tenant_id;
+  }
+}
+
+TEST_F(LogGeneratorTest, ComposeIsByteIdenticalAcrossJobCounts) {
+  // Tenant-sharded composition must produce byte-identical logs: every
+  // tenant samples from its own id-keyed Rng stream, so the worker count
+  // can only change scheduling, never content. Compare the serialized CSV.
+  LogComposerOptions serial_options;
+  serial_options.horizon_days = 6;
+  LogComposer serial_composer(library_, serial_options);
+  auto tenants_base = MakeTenants(20, 31);
+  auto tenants_serial = tenants_base;
+  Rng rng_serial(32);
+  auto logs_serial = serial_composer.Compose(&tenants_serial, &rng_serial);
+  ASSERT_TRUE(logs_serial.ok());
+  std::ostringstream serial_csv;
+  ASSERT_TRUE(WriteLogsCsv(*logs_serial, serial_csv).ok());
+
+  for (int jobs : {2, 4}) {
+    LogComposerOptions options = serial_options;
+    options.jobs = jobs;
+    LogComposer composer(library_, options);
+    auto tenants = tenants_base;
+    Rng rng(32);
+    auto logs = composer.Compose(&tenants, &rng);
+    ASSERT_TRUE(logs.ok()) << "jobs=" << jobs;
+    std::ostringstream csv;
+    ASSERT_TRUE(WriteLogsCsv(*logs, csv).ok());
+    EXPECT_EQ(csv.str(), serial_csv.str()) << "jobs=" << jobs;
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      EXPECT_EQ(tenants[i].time_zone_offset_hours,
+                tenants_serial[i].time_zone_offset_hours);
+    }
+  }
+}
+
+TEST_F(LogGeneratorTest, ComposeActivityIdenticalAcrossJobCounts) {
+  LogComposerOptions serial_options;
+  serial_options.horizon_days = 6;
+  LogComposer serial_composer(library_, serial_options);
+  auto tenants_base = MakeTenants(20, 33);
+  auto tenants_serial = tenants_base;
+  Rng rng_serial(34);
+  auto activity_serial =
+      serial_composer.ComposeActivity(&tenants_serial, &rng_serial);
+  ASSERT_TRUE(activity_serial.ok());
+
+  for (int jobs : {2, 4}) {
+    LogComposerOptions options = serial_options;
+    options.jobs = jobs;
+    LogComposer composer(library_, options);
+    auto tenants = tenants_base;
+    Rng rng(34);
+    auto activity = composer.ComposeActivity(&tenants, &rng);
+    ASSERT_TRUE(activity.ok()) << "jobs=" << jobs;
+    ASSERT_EQ(activity->size(), activity_serial->size());
+    for (size_t i = 0; i < activity->size(); ++i) {
+      EXPECT_EQ((*activity)[i].intervals(),
+                (*activity_serial)[i].intervals())
+          << "jobs=" << jobs << " tenant " << tenants[i].id;
+    }
   }
 }
 

@@ -1,0 +1,152 @@
+// Determinism of the threaded solver core: SolveTwoStep and SolveExact must
+// return byte-identical solutions for every solver_jobs value. Parallelism
+// may change evaluation *order* (shard merges, subtree completion), never
+// the argmin/incumbent the canonical tie-breaks select.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fig51_fixture.h"
+#include "placement/exact.h"
+#include "placement/two_step.h"
+
+namespace thrifty {
+namespace {
+
+using testing_fixtures::Fig51Activities;
+
+struct Instance {
+  std::vector<ActivityVector> activities;
+  std::vector<TenantSpec> tenants;
+};
+
+Instance RandomInstance(uint64_t seed, int num_tenants, size_t num_epochs,
+                        const std::vector<int>& sizes) {
+  Rng rng(seed);
+  Instance inst;
+  for (TenantId id = 1; id <= num_tenants; ++id) {
+    DynamicBitmap bits(num_epochs);
+    int runs = static_cast<int>(rng.NextInt(0, 3));  // some all-zero tenants
+    for (int run = 0; run < runs; ++run) {
+      size_t begin = rng.NextBounded(num_epochs);
+      bits.SetRange(begin, begin + 10 + rng.NextBounded(num_epochs / 4));
+    }
+    inst.activities.push_back(ActivityVector::FromBitmap(id, bits));
+    TenantSpec spec;
+    spec.id = id;
+    spec.requested_nodes = sizes[rng.NextBounded(sizes.size())];
+    inst.tenants.push_back(spec);
+  }
+  return inst;
+}
+
+void ExpectSameSolution(const GroupingSolution& base,
+                        const GroupingSolution& other,
+                        const std::string& context) {
+  ASSERT_EQ(base.groups.size(), other.groups.size()) << context;
+  for (size_t g = 0; g < base.groups.size(); ++g) {
+    EXPECT_EQ(base.groups[g].tenant_ids, other.groups[g].tenant_ids)
+        << context << " group " << g;
+    EXPECT_EQ(base.groups[g].max_nodes, other.groups[g].max_nodes)
+        << context << " group " << g;
+    EXPECT_EQ(base.groups[g].ttp, other.groups[g].ttp)
+        << context << " group " << g;
+    EXPECT_EQ(base.groups[g].max_active, other.groups[g].max_active)
+        << context << " group " << g;
+  }
+}
+
+TEST(SolverParallelTest, TwoStepFig53WalkthroughAtEveryJobCount) {
+  auto activities = Fig51Activities();
+  std::vector<TenantSpec> tenants(6);
+  for (size_t i = 0; i < 6; ++i) {
+    tenants[i].id = static_cast<TenantId>(i + 1);
+    tenants[i].requested_nodes = 4;
+  }
+  auto problem = MakePackingProblem(tenants, activities, 3, 0.999);
+  ASSERT_TRUE(problem.ok());
+  for (int jobs : {1, 2, 4}) {
+    TwoStepOptions options;
+    options.solver_jobs = jobs;
+    auto solution = SolveTwoStep(*problem, options);
+    ASSERT_TRUE(solution.ok()) << "jobs=" << jobs;
+    ASSERT_EQ(solution->groups.size(), 2u) << "jobs=" << jobs;
+    EXPECT_EQ(solution->groups[0].tenant_ids,
+              (std::vector<TenantId>{3, 2, 5, 4, 6}))
+        << "jobs=" << jobs;
+    EXPECT_EQ(solution->groups[1].tenant_ids, (std::vector<TenantId>{1}))
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(SolverParallelTest, TwoStepIdenticalAcrossSolverJobs) {
+  const std::vector<int> sizes = {2, 4, 8};
+  for (uint64_t seed : {11ull, 22ull, 33ull}) {
+    Instance inst = RandomInstance(seed, 60, 400, sizes);
+    for (auto [r, p] : {std::pair<int, double>{3, 0.999},
+                        std::pair<int, double>{2, 0.95}}) {
+      auto problem = MakePackingProblem(inst.tenants, inst.activities, r, p);
+      ASSERT_TRUE(problem.ok());
+      TwoStepOptions serial;
+      auto base = SolveTwoStep(*problem, serial);
+      ASSERT_TRUE(base.ok());
+      ASSERT_TRUE(VerifySolution(*problem, *base).ok());
+      for (int jobs : {2, 4}) {
+        TwoStepOptions options;
+        options.solver_jobs = jobs;
+        auto solution = SolveTwoStep(*problem, options);
+        ASSERT_TRUE(solution.ok());
+        ExpectSameSolution(*base, *solution,
+                           "seed " + std::to_string(seed) + " R=" +
+                               std::to_string(r) + " jobs=" +
+                               std::to_string(jobs));
+      }
+    }
+  }
+}
+
+TEST(SolverParallelTest, ExactIdenticalAcrossSolverJobs) {
+  const std::vector<int> sizes = {2, 4};
+  for (uint64_t seed : {5ull, 17ull, 29ull}) {
+    Instance inst = RandomInstance(seed, 9, 120, sizes);
+    auto problem = MakePackingProblem(inst.tenants, inst.activities, 2, 0.95);
+    ASSERT_TRUE(problem.ok());
+    ExactSolverOptions serial;
+    auto base = SolveExact(*problem, serial);
+    ASSERT_TRUE(base.ok()) << base.status();
+    ASSERT_TRUE(VerifySolution(*problem, *base).ok());
+    for (int jobs : {2, 4}) {
+      ExactSolverOptions options;
+      options.solver_jobs = jobs;
+      auto solution = SolveExact(*problem, options);
+      ASSERT_TRUE(solution.ok()) << solution.status();
+      ExpectSameSolution(*base, *solution,
+                         "seed " + std::to_string(seed) + " jobs=" +
+                             std::to_string(jobs));
+    }
+  }
+}
+
+TEST(SolverParallelTest, ExactParallelCostMatchesSerialOptimum) {
+  // Beyond structural identity: the parallel searches must report the same
+  // optimal node count (the quantity B&B proves optimal).
+  const std::vector<int> sizes = {2, 4, 8};
+  Instance inst = RandomInstance(77, 10, 200, sizes);
+  auto problem = MakePackingProblem(inst.tenants, inst.activities, 3, 0.9);
+  ASSERT_TRUE(problem.ok());
+  ExactSolverOptions serial;
+  auto base = SolveExact(*problem, serial);
+  ASSERT_TRUE(base.ok()) << base.status();
+  for (int jobs : {2, 4, 8}) {
+    ExactSolverOptions options;
+    options.solver_jobs = jobs;
+    auto solution = SolveExact(*problem, options);
+    ASSERT_TRUE(solution.ok()) << solution.status();
+    EXPECT_EQ(solution->NodesUsed(3), base->NodesUsed(3)) << "jobs=" << jobs;
+  }
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -67,5 +67,73 @@ TEST(ThreadPoolTest, TasksRunOffTheCallingThread) {
   EXPECT_NE(worker, caller);
 }
 
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, hits.size(), [&](size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsInlineInOrder) {
+  std::vector<size_t> order;
+  std::thread::id caller = std::this_thread::get_id();
+  ParallelFor(nullptr, 5, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, HandlesZeroAndSingleIteration) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(&pool, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(&pool, 1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, NestedCallsOnOnePoolDoNotDeadlock) {
+  // Tasks that wait on sub-work queued behind them would deadlock a naive
+  // future-join; ParallelFor's caller-participates drain must not.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  ParallelFor(&pool, 4, [&](size_t) {
+    ParallelFor(&pool, 8, [&](size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ParallelForTest, RethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    try {
+      ParallelFor(&pool, 100, [&](size_t i) {
+        if (i == 7 || i == 93) {
+          throw std::runtime_error("index " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected ParallelFor to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "index 7");
+    }
+  }
+}
+
+TEST(ParallelForTest, KeepsRunningRemainingIndicesAfterAnException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(ParallelFor(&pool, 50,
+                           [&](size_t i) {
+                             ++ran;
+                             if (i == 0) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 50);
+}
+
 }  // namespace
 }  // namespace thrifty
