@@ -7,6 +7,10 @@
 #include <iostream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace thrifty {
 namespace bench {
 
@@ -21,6 +25,11 @@ namespace {
      << "               thread each solve / workload composition on N\n"
      << "               workers (default 1; composes with --jobs);\n"
      << "               results are bit-identical for any N\n"
+     << "  --warm-start run an extra sequential two-step pass that seeds\n"
+     << "               each sweep point with the previous point's plan\n"
+     << "               and reports per-point time savings / effectiveness\n"
+     << "               deltas (fig7_1 and fig7_5; the cold fingerprinted\n"
+     << "               results are unchanged)\n"
      << "  --seed=S     base seed for deterministic trial streams\n"
      << "  --out=DIR    directory for BENCH_" << bench_name
      << ".json (default .)\n"
@@ -123,6 +132,8 @@ BenchOptions ParseBenchArgs(int argc, char** argv,
       options.seed_set = true;
     } else if (MatchValueFlag(argc, argv, &i, "--out", &value)) {
       options.out_dir = value;
+    } else if (std::strcmp(argv[i], "--warm-start") == 0) {
+      options.warm_start = true;
     } else if (std::strcmp(argv[i], "--no-json") == 0) {
       options.write_json = false;
     } else {
@@ -171,8 +182,26 @@ double BenchReport::ElapsedSeconds() const {
       .count();
 }
 
+size_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<size_t>(usage.ru_maxrss);  // already bytes on macOS
+#else
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
 void BenchReport::Write() {
   double wall_seconds = ElapsedSeconds();
+  size_t peak_rss = PeakRssBytes();
+  if (peak_rss > 0) {
+    metrics_.emplace_back("peak_rss_bytes", static_cast<double>(peak_rss));
+  }
   char fingerprint[24];
   std::snprintf(fingerprint, sizeof(fingerprint), "%016llx",
                 static_cast<unsigned long long>(Fnv1a64(results_table_)));
@@ -289,7 +318,8 @@ std::vector<ActivityVector> EpochizeWorkload(const Workload& workload,
 SolverRow RunSolver(GroupingSolver solver, const Workload& workload,
                     const std::vector<ActivityVector>& vectors,
                     int replication_factor, double sla_fraction,
-                    int solver_jobs) {
+                    int solver_jobs, const GroupingSolution* warm_start,
+                    GroupingSolution* solution_out) {
   auto problem = MakePackingProblem(workload.tenants, vectors,
                                     replication_factor, sla_fraction);
   if (!problem.ok()) {
@@ -298,6 +328,7 @@ SolverRow RunSolver(GroupingSolver solver, const Workload& workload,
   }
   TwoStepOptions two_step_options;
   two_step_options.solver_jobs = solver_jobs;
+  two_step_options.warm_start = warm_start;
   auto solution = solver == GroupingSolver::kTwoStep
                       ? SolveTwoStep(*problem, two_step_options)
                       : SolveFfd(*problem);
@@ -319,6 +350,11 @@ SolverRow RunSolver(GroupingSolver solver, const Workload& workload,
   row.average_group_size = solution->AverageGroupSize();
   row.solve_seconds = solution->solve_seconds;
   row.num_groups = solution->groups.size();
+  row.level_set_bytes = solution->LevelSetBytes();
+  row.level_set_dense_bytes = solution->LevelSetDenseBytes();
+  row.warm_groups_kept = solution->warm_groups_kept;
+  row.warm_groups_dissolved = solution->warm_groups_dissolved;
+  if (solution_out != nullptr) *solution_out = *std::move(solution);
   return row;
 }
 

@@ -30,6 +30,12 @@ struct BenchOptions {
   /// --jobs (each concurrent trial gets its own solver pool). Results are
   /// bit-identical for any value. 1 = sequential.
   int solver_jobs = 1;
+  /// Warm-start sweep points from their neighbour's grouping
+  /// (--warm-start): fig7_1/fig7_5 add a sequential two-step pass that
+  /// seeds each point with the previous point's plan and records per-point
+  /// solver-time savings and effectiveness deltas. Off by default; the
+  /// fingerprinted cold results are unchanged either way.
+  bool warm_start = false;
   /// Base seed for the sweep's deterministic trial streams (--seed=S).
   uint64_t seed = 42;
   /// True when --seed was passed explicitly (benches whose canonical
@@ -135,15 +141,28 @@ struct SolverRow {
   int64_t nodes_used = 0;
   int64_t nodes_requested = 0;
   size_t num_groups = 0;
+  size_t level_set_bytes = 0;        // sparse group-level-set footprint
+  size_t level_set_dense_bytes = 0;  // dense-bitmap equivalent footprint
+  size_t warm_groups_kept = 0;       // warm-started solves only
+  size_t warm_groups_dissolved = 0;
 };
 
 /// \brief Runs one solver over the epochized problem (verifying the
 /// solution) and summarizes it. `solver_jobs` threads the solve itself;
-/// the result is identical for any value.
+/// the result is identical for any value. For the two-step solver,
+/// `warm_start` optionally seeds the solve with a previous grouping and
+/// `solution_out` optionally receives the full grouping so callers can
+/// chain warm starts across sweep points.
 SolverRow RunSolver(GroupingSolver solver, const Workload& workload,
                     const std::vector<ActivityVector>& vectors,
                     int replication_factor, double sla_fraction,
-                    int solver_jobs = 1);
+                    int solver_jobs = 1,
+                    const GroupingSolution* warm_start = nullptr,
+                    GroupingSolution* solution_out = nullptr);
+
+/// \brief Current process peak resident set size in bytes (0 if the
+/// platform doesn't report it).
+size_t PeakRssBytes();
 
 /// \brief Runs FFD then the two-step heuristic.
 std::vector<SolverRow> RunBothSolvers(const Workload& workload,

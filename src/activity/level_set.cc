@@ -2,74 +2,180 @@
 
 #include <bit>
 #include <cassert>
+#include <limits>
 
 namespace thrifty {
 
+namespace {
+constexpr uint32_t kNoOldPos = std::numeric_limits<uint32_t>::max();
+
+inline size_t Pop(uint64_t word) {
+  return static_cast<size_t>(std::popcount(word));
+}
+}  // namespace
+
 GroupLevelSet::GroupLevelSet(size_t num_epochs) : num_epochs_(num_epochs) {}
+
+void GroupLevelSet::MergeTouched(const std::vector<uint32_t>& widx,
+                                 std::vector<uint32_t>* cand_pos) {
+  cand_pos->resize(widx.size());
+  std::vector<uint32_t> merged;
+  merged.reserve(touched_.size() + widx.size());
+  // For each merged column, the touched position it came from (or new).
+  std::vector<uint32_t> old_pos;
+  old_pos.reserve(touched_.size() + widx.size());
+  size_t i = 0, j = 0;
+  bool grew = false;
+  while (i < touched_.size() || j < widx.size()) {
+    uint32_t tw = i < touched_.size() ? touched_[i]
+                                      : std::numeric_limits<uint32_t>::max();
+    uint32_t cw = j < widx.size() ? widx[j]
+                                  : std::numeric_limits<uint32_t>::max();
+    if (tw < cw) {
+      old_pos.push_back(static_cast<uint32_t>(i));
+      merged.push_back(tw);
+      ++i;
+    } else if (cw < tw) {
+      (*cand_pos)[j] = static_cast<uint32_t>(merged.size());
+      old_pos.push_back(kNoOldPos);
+      merged.push_back(cw);
+      ++j;
+      grew = true;
+    } else {
+      (*cand_pos)[j] = static_cast<uint32_t>(merged.size());
+      old_pos.push_back(static_cast<uint32_t>(i));
+      merged.push_back(tw);
+      ++i;
+      ++j;
+    }
+  }
+  if (!grew) return;
+  // The merge is stable over the old columns, so the arena's word order is
+  // unchanged — new columns have height zero and only the starts shift.
+  std::vector<uint32_t> starts(merged.size() + 1);
+  uint32_t offset = 0;
+  for (size_t k = 0; k < merged.size(); ++k) {
+    starts[k] = offset;
+    if (old_pos[k] != kNoOldPos) {
+      offset += col_start_[old_pos[k] + 1] - col_start_[old_pos[k]];
+    }
+  }
+  starts.back() = offset;
+  col_start_ = std::move(starts);
+  touched_ = std::move(merged);
+}
+
+size_t GroupLevelSet::IntersectTouched(const ActivityVector& v,
+                                       EvalScratch* scratch) const {
+  scratch->cand.clear();
+  scratch->pos.clear();
+  scratch->cstart.clear();
+  scratch->cheight.clear();
+  const auto& widx = v.word_indices();
+  const auto& wbits = v.word_bits();
+  size_t outside_pop = 0;
+  size_t i = 0;
+  for (size_t j = 0; j < widx.size(); ++j) {
+    while (i < touched_.size() && touched_[i] < widx[j]) ++i;
+    if (i < touched_.size() && touched_[i] == widx[j]) {
+      scratch->cand.push_back(static_cast<uint32_t>(j));
+      scratch->pos.push_back(static_cast<uint32_t>(i));
+      scratch->cstart.push_back(col_start_[i]);
+      scratch->cheight.push_back(col_start_[i + 1] - col_start_[i]);
+    } else {
+      outside_pop += Pop(wbits[j]);
+    }
+  }
+  return outside_pop;
+}
+
+void GroupLevelSet::SpliceColumns(const std::vector<uint32_t>& cand_pos,
+                                  const std::vector<uint64_t>& new_words,
+                                  const std::vector<uint32_t>& new_first,
+                                  const std::vector<uint32_t>& new_heights) {
+  std::vector<uint64_t> arena;
+  arena.reserve(arena_.size() + new_words.size());
+  std::vector<uint32_t> starts(touched_.size() + 1);
+  size_t j = 0;
+  for (size_t p = 0; p < touched_.size(); ++p) {
+    starts[p] = static_cast<uint32_t>(arena.size());
+    if (j < cand_pos.size() && cand_pos[j] == p) {
+      arena.insert(arena.end(), new_words.begin() + new_first[j],
+                   new_words.begin() + new_first[j] + new_heights[j]);
+      ++j;
+    } else {
+      arena.insert(arena.end(), arena_.begin() + col_start_[p],
+                   arena_.begin() + col_start_[p + 1]);
+    }
+  }
+  starts.back() = static_cast<uint32_t>(arena.size());
+  arena_ = std::move(arena);
+  col_start_ = std::move(starts);
+}
 
 void GroupLevelSet::Add(const ActivityVector& v) {
   assert(v.num_epochs() == num_epochs_);
   ++num_tenants_;
   const auto& widx = v.word_indices();
   const auto& wbits = v.word_bits();
-  size_t num_levels = levels_.size();
+  size_t num_levels = pops_.size();
 
   if (num_levels == 0) {
-    // A tenant with no activity contributes no level.
+    // A tenant with no activity contributes no level. No level also means
+    // every current member is inactive everywhere, so the candidate's words
+    // *are* the touched index (heights all one: widx holds nonzero words).
     if (v.ActiveEpochs() > 0) {
-      levels_.push_back(v.ToBitmap());
-      pops_.push_back(v.ActiveEpochs());
+      touched_ = widx;
+      col_start_.resize(touched_.size() + 1);
+      for (size_t k = 0; k <= touched_.size(); ++k) {
+        col_start_[k] = static_cast<uint32_t>(k);
+      }
+      arena_ = wbits;
+      pops_.assign(1, v.ActiveEpochs());
     }
     return;
   }
 
-  // Possibly-new top level: epochs whose count was already num_levels and
-  // where the candidate is active too. Computed first, from the old top.
-  DynamicBitmap new_top(num_epochs_);
-  size_t new_top_pop = 0;
-  for (size_t i = 0; i < widx.size(); ++i) {
-    uint64_t word = levels_[num_levels - 1].word(widx[i]) & wbits[i];
-    if (word != 0) {
-      new_top.mutable_word(widx[i]) = word;
-      new_top_pop += static_cast<size_t>(std::popcount(word));
-    }
-  }
+  std::vector<uint32_t> cand_pos;
+  MergeTouched(widx, &cand_pos);
 
-  // Update L_m descending so each step reads the *old* L_{m-1}.
-  for (size_t m = num_levels; m >= 2; --m) {
-    DynamicBitmap& lm = levels_[m - 1];
-    const DynamicBitmap& lm1 = levels_[m - 2];
-    size_t delta = 0;
-    for (size_t i = 0; i < widx.size(); ++i) {
-      uint64_t old_word = lm.word(widx[i]);
-      uint64_t new_word = old_word | (lm1.word(widx[i]) & wbits[i]);
-      if (new_word != old_word) {
-        delta += static_cast<size_t>(std::popcount(new_word)) -
-                 static_cast<size_t>(std::popcount(old_word));
-        lm.mutable_word(widx[i]) = new_word;
-      }
+  // Recompute each candidate column from its old prefix. Within a column
+  // levels are nested, so every updated word at m <= height stays nonzero
+  // and only the height+1 entry (old top AND candidate) can be new — the
+  // column grows by at most one word.
+  std::vector<uint64_t> new_words;
+  new_words.reserve(arena_.size() / 2 + widx.size());
+  std::vector<uint32_t> new_first(widx.size());
+  std::vector<uint32_t> new_heights(widx.size());
+  std::vector<size_t> delta(num_levels + 1, 0);
+  for (size_t j = 0; j < widx.size(); ++j) {
+    uint32_t s = col_start_[cand_pos[j]];
+    uint32_t h = col_start_[cand_pos[j] + 1] - s;
+    uint64_t cw = wbits[j];
+    new_first[j] = static_cast<uint32_t>(new_words.size());
+    for (uint32_t m = 1; m <= h; ++m) {
+      uint64_t old_word = arena_[s + m - 1];
+      // L_0 is conceptually all-ones, so at m == 1 the join term is C.
+      uint64_t below = m >= 2 ? arena_[s + m - 2] : ~uint64_t{0};
+      uint64_t new_word = old_word | (below & cw);
+      if (new_word != old_word) delta[m - 1] += Pop(new_word) - Pop(old_word);
+      new_words.push_back(new_word);
     }
-    pops_[m - 1] += delta;
-  }
-  // L_1 |= C (L_0 is conceptually all-ones).
-  {
-    DynamicBitmap& l1 = levels_[0];
-    size_t delta = 0;
-    for (size_t i = 0; i < widx.size(); ++i) {
-      uint64_t old_word = l1.word(widx[i]);
-      uint64_t new_word = old_word | wbits[i];
-      if (new_word != old_word) {
-        delta += static_cast<size_t>(std::popcount(new_word)) -
-                 static_cast<size_t>(std::popcount(old_word));
-        l1.mutable_word(widx[i]) = new_word;
-      }
+    // The possibly-new top word: old-top AND candidate (for a height-zero
+    // column the candidate lifts level 1 directly).
+    uint64_t top = h >= 1 ? (arena_[s + h - 1] & cw) : cw;
+    if (top != 0) {
+      delta[h] += Pop(top);
+      new_words.push_back(top);
+      new_heights[j] = h + 1;
+    } else {
+      new_heights[j] = h;
     }
-    pops_[0] += delta;
   }
-  if (new_top_pop > 0) {
-    levels_.push_back(std::move(new_top));
-    pops_.push_back(new_top_pop);
-  }
+  SpliceColumns(cand_pos, new_words, new_first, new_heights);
+
+  for (size_t m = 1; m <= num_levels; ++m) pops_[m - 1] += delta[m - 1];
+  if (delta[num_levels] > 0) pops_.push_back(delta[num_levels]);
 }
 
 Status GroupLevelSet::Remove(const ActivityVector& v) {
@@ -80,41 +186,67 @@ Status GroupLevelSet::Remove(const ActivityVector& v) {
   --num_tenants_;
   const auto& widx = v.word_indices();
   const auto& wbits = v.word_bits();
-  size_t num_levels = levels_.size();
-  // Ascending so each step reads the *old* L_{m+1}: an epoch leaves level m
-  // iff its old count was exactly m (in L_m but not L_{m+1}) and the tenant
-  // was active there.
-  for (size_t m = 1; m <= num_levels; ++m) {
-    DynamicBitmap& lm = levels_[m - 1];
-    size_t delta = 0;
-    for (size_t i = 0; i < widx.size(); ++i) {
-      uint64_t above = m < num_levels ? levels_[m].word(widx[i]) : 0;
-      uint64_t old_word = lm.word(widx[i]);
-      uint64_t new_word = old_word & (~wbits[i] | above);
-      if (new_word != old_word) {
-        delta += static_cast<size_t>(std::popcount(old_word)) -
-                 static_cast<size_t>(std::popcount(new_word));
-        lm.mutable_word(widx[i]) = new_word;
-      }
+  size_t num_levels = pops_.size();
+  // Only previously-added vectors may be removed, so every candidate word
+  // is in the touched index already.
+  std::vector<uint32_t> cand_pos(widx.size());
+  {
+    size_t i = 0;
+    for (size_t j = 0; j < widx.size(); ++j) {
+      while (i < touched_.size() && touched_[i] < widx[j]) ++i;
+      assert(i < touched_.size() && touched_[i] == widx[j]);
+      cand_pos[j] = static_cast<uint32_t>(i);
     }
-    pops_[m - 1] -= delta;
   }
-  while (!levels_.empty() && pops_.back() == 0) {
-    levels_.pop_back();
-    pops_.pop_back();
+  // An epoch leaves level m iff its old count was exactly m (in L_m but
+  // not L_{m+1}) and the tenant was active there; each new word reads only
+  // *old* column words, then trailing zero words are trimmed so columns
+  // stay nonzero prefixes.
+  std::vector<uint64_t> new_words;
+  new_words.reserve(arena_.size() / 2);
+  std::vector<uint32_t> new_first(widx.size());
+  std::vector<uint32_t> new_heights(widx.size());
+  std::vector<size_t> delta(num_levels, 0);
+  for (size_t j = 0; j < widx.size(); ++j) {
+    uint32_t s = col_start_[cand_pos[j]];
+    uint32_t h = col_start_[cand_pos[j] + 1] - s;
+    uint64_t cw = wbits[j];
+    new_first[j] = static_cast<uint32_t>(new_words.size());
+    uint32_t nh = 0;
+    for (uint32_t m = 1; m <= h; ++m) {
+      uint64_t old_word = arena_[s + m - 1];
+      uint64_t above = m < h ? arena_[s + m] : 0;
+      uint64_t new_word = old_word & (~cw | above);
+      if (new_word != old_word) delta[m - 1] += Pop(old_word) - Pop(new_word);
+      new_words.push_back(new_word);
+      if (new_word != 0) nh = m;
+    }
+    new_words.resize(new_first[j] + nh);  // trim the zero tail
+    new_heights[j] = nh;
+  }
+  SpliceColumns(cand_pos, new_words, new_first, new_heights);
+
+  for (size_t m = 1; m <= num_levels; ++m) pops_[m - 1] -= delta[m - 1];
+  while (!pops_.empty() && pops_.back() == 0) pops_.pop_back();
+  // The touched index stays as an upper bound while levels exist; once the
+  // group drains to zero activity the next Add rebuilds it from scratch.
+  if (pops_.empty()) {
+    touched_.clear();
+    col_start_.clear();
+    arena_.clear();
   }
   return Status::OK();
 }
 
 size_t GroupLevelSet::CountAtLeast(int m) const {
   assert(m >= 1);
-  if (static_cast<size_t>(m) > levels_.size()) return 0;
+  if (static_cast<size_t>(m) > pops_.size()) return 0;
   return pops_[static_cast<size_t>(m) - 1];
 }
 
 size_t GroupLevelSet::CountAtMost(int m) const {
   assert(m >= 0);
-  if (static_cast<size_t>(m) >= levels_.size()) return num_epochs_;
+  if (static_cast<size_t>(m) >= pops_.size()) return num_epochs_;
   return num_epochs_ - pops_[static_cast<size_t>(m)];
 }
 
@@ -125,10 +257,10 @@ double GroupLevelSet::Ttp(int r) const {
 }
 
 std::vector<double> GroupLevelSet::ExactLevelFractions() const {
-  std::vector<double> fractions(levels_.size());
-  for (size_t m = 1; m <= levels_.size(); ++m) {
+  std::vector<double> fractions(pops_.size());
+  for (size_t m = 1; m <= pops_.size(); ++m) {
     size_t at_least_m = pops_[m - 1];
-    size_t at_least_m1 = m < levels_.size() ? pops_[m] : 0;
+    size_t at_least_m1 = m < pops_.size() ? pops_[m] : 0;
     fractions[m - 1] = static_cast<double>(at_least_m - at_least_m1) /
                        static_cast<double>(num_epochs_);
   }
@@ -136,29 +268,91 @@ std::vector<double> GroupLevelSet::ExactLevelFractions() const {
 }
 
 std::vector<size_t> GroupLevelSet::EvaluateAdd(const ActivityVector& v) const {
+  EvalScratch scratch;
+  EvaluateAddInto(v, &scratch);
+  return std::move(scratch.pops);
+}
+
+void GroupLevelSet::EvaluateAddInto(const ActivityVector& v,
+                                    EvalScratch* scratch) const {
   assert(v.num_epochs() == num_epochs_);
-  const auto& widx = v.word_indices();
   const auto& wbits = v.word_bits();
-  size_t num_levels = levels_.size();
-  std::vector<size_t> new_pops(num_levels + 1);
+  size_t outside_pop = IntersectTouched(v, scratch);
+  size_t num_levels = pops_.size();
+  scratch->pops.assign(num_levels + 1, 0);
   for (size_t m = 1; m <= num_levels + 1; ++m) {
     size_t base = m <= num_levels ? pops_[m - 1] : 0;
-    size_t delta = 0;
-    for (size_t i = 0; i < widx.size(); ++i) {
-      uint64_t old_word = m <= num_levels ? levels_[m - 1].word(widx[i]) : 0;
+    // Words outside the touched index have zero count, so the candidate
+    // lifts them straight into level 1 and nowhere else.
+    size_t delta = m == 1 ? outside_pop : 0;
+    for (size_t k = 0; k < scratch->cand.size(); ++k) {
+      uint32_t h = scratch->cheight[k];
+      // Columns shorter than m - 1 contribute nothing at level m.
+      if (h + 1 < m) continue;
+      uint64_t cw = wbits[scratch->cand[k]];
+      uint32_t s = scratch->cstart[k];
+      uint64_t old_word = m <= h ? arena_[s + m - 1] : 0;
       // L_0 is all-ones, so at m == 1 the joining term is C itself.
-      uint64_t below = m >= 2 ? levels_[m - 2].word(widx[i]) : ~uint64_t{0};
-      uint64_t new_word = old_word | (below & wbits[i]);
-      if (new_word != old_word) {
-        delta += static_cast<size_t>(std::popcount(new_word)) -
-                 static_cast<size_t>(std::popcount(old_word));
-      }
+      uint64_t below = m >= 2 ? (m - 1 <= h ? arena_[s + m - 2] : 0)
+                              : ~uint64_t{0};
+      uint64_t new_word = old_word | (below & cw);
+      if (new_word != old_word) delta += Pop(new_word) - Pop(old_word);
     }
-    new_pops[m - 1] = base + delta;
+    scratch->pops[m - 1] = base + delta;
   }
   // Drop an empty would-be top level so MaxActive stays meaningful.
-  if (new_pops.back() == 0) new_pops.pop_back();
-  return new_pops;
+  if (scratch->pops.back() == 0) scratch->pops.pop_back();
+}
+
+int GroupLevelSet::EvaluateAddCompare(const ActivityVector& v,
+                                      const std::vector<size_t>& incumbent,
+                                      EvalScratch* scratch) const {
+  assert(v.num_epochs() == num_epochs_);
+  assert(!incumbent.empty());
+  assert(incumbent.size() <= pops_.size() + 1);
+  const auto& wbits = v.word_bits();
+  size_t outside_pop = IntersectTouched(v, scratch);
+  size_t num_levels = pops_.size();
+  scratch->pops.assign(num_levels + 1, 0);
+  // Levels are independent of each other, so they can be computed top-down,
+  // in exactly the order the Fig 5.3 comparison consumes them: the exact
+  // count at level m is at_least(m) - at_least(m+1). The first strictly
+  // differing level decides, which is what makes abandoning a losing
+  // candidate early (`return 1` below) outcome-identical to the full
+  // EvaluateAdd + CompareCandidateLevels.
+  size_t above = 0;  // at_least(m + 1), from the previous iteration
+  int winner = 0;
+  for (size_t m = num_levels + 1; m >= 1; --m) {
+    size_t base = m <= num_levels ? pops_[m - 1] : 0;
+    size_t delta = m == 1 ? outside_pop : 0;
+    for (size_t k = 0; k < scratch->cand.size(); ++k) {
+      uint32_t h = scratch->cheight[k];
+      if (h + 1 < m) continue;
+      uint64_t cw = wbits[scratch->cand[k]];
+      uint32_t s = scratch->cstart[k];
+      uint64_t old_word = m <= h ? arena_[s + m - 1] : 0;
+      uint64_t below = m >= 2 ? (m - 1 <= h ? arena_[s + m - 2] : 0)
+                              : ~uint64_t{0};
+      uint64_t new_word = old_word | (below & cw);
+      if (new_word != old_word) delta += Pop(new_word) - Pop(old_word);
+    }
+    size_t at_least = base + delta;
+    scratch->pops[m - 1] = at_least;
+    if (winner == 0) {
+      size_t exact = at_least - above;
+      size_t inc_m = m <= incumbent.size() ? incumbent[m - 1] : 0;
+      size_t inc_m1 = m < incumbent.size() ? incumbent[m] : 0;
+      size_t inc_exact = inc_m - inc_m1;
+      if (exact < inc_exact) {
+        winner = -1;  // already won; keep filling pops for the caller
+      } else if (exact > inc_exact) {
+        return 1;  // prune: lower levels can no longer matter
+      }
+    }
+    above = at_least;
+  }
+  if (scratch->pops.back() == 0) scratch->pops.pop_back();
+  return winner;
 }
 
 double GroupLevelSet::TtpFromPopcounts(
@@ -170,6 +364,18 @@ double GroupLevelSet::TtpFromPopcounts(
                      : 0;
   return static_cast<double>(num_epochs_ - above) /
          static_cast<double>(num_epochs_);
+}
+
+size_t GroupLevelSet::MemoryBytes() const {
+  return touched_.size() * sizeof(uint32_t) +
+         col_start_.size() * sizeof(uint32_t) +
+         arena_.size() * sizeof(uint64_t) + pops_.size() * sizeof(size_t);
+}
+
+size_t GroupLevelSet::DenseEquivalentBytes() const {
+  size_t words = (num_epochs_ + 63) / 64;
+  return pops_.size() * words * sizeof(uint64_t) +
+         pops_.size() * sizeof(size_t);
 }
 
 }  // namespace thrifty

@@ -15,10 +15,31 @@
 //    O(levels x |C's nonzero words|) word operations instead of a pass over
 //    all epochs. This is what keeps the O(g^2)-search heuristic fast at
 //    thousands of tenants.
+//
+// Storage is *sparse over the touched-word index*: every level can only
+// have set bits inside words where at least one member is active, so the
+// levels are stored as word columns over the sorted union of the members'
+// nonzero word indices instead of as full d-bit bitmaps. Tenant activity is
+// bursty (office-hour blocks), so at fine epoch sizes (the paper sweeps E
+// down to 0.1 s — millions of epochs) the touched set is a small fraction
+// of the horizon and the footprint shrinks accordingly; all operations
+// iterate only the intersection of the candidate's nonzero words with the
+// touched set. The touched index never shrinks on Remove (it stays an
+// upper bound) and is rebuilt only when the group drains to zero activity.
+//
+// Levels are nested (L_m is a subset of L_{m-1}), so within one touched
+// column the nonzero level words form a *prefix*: if level m's word is
+// nonzero, so is level m-1's. The columns are therefore stored ragged in a
+// single column-major arena — column p holds only its nonzero prefix of
+// `height(p)` words — rather than as an L x touched matrix. High levels
+// are nonzero only where many members overlap, which is rare, so the arena
+// is far smaller than the matrix while any (level, column) word is still
+// one bounds-check away.
 
 #ifndef THRIFTY_ACTIVITY_LEVEL_SET_H_
 #define THRIFTY_ACTIVITY_LEVEL_SET_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "activity/activity_vector.h"
@@ -28,7 +49,7 @@
 namespace thrifty {
 
 /// \brief Per-epoch active-tenant counts of one tenant-group, as level
-/// bitmaps.
+/// bitmaps stored sparsely over the group's touched-word index.
 class GroupLevelSet {
  public:
   explicit GroupLevelSet(size_t num_epochs);
@@ -55,11 +76,28 @@ class GroupLevelSet {
   double Ttp(int r) const;
 
   /// \brief Highest number of concurrently active tenants over all epochs.
-  int MaxActive() const { return static_cast<int>(levels_.size()); }
+  int MaxActive() const { return static_cast<int>(pops_.size()); }
 
   /// \brief Fraction of epochs with exactly m active tenants, for
   /// m = 1..MaxActive() (index 0 holds m=1).
   std::vector<double> ExactLevelFractions() const;
+
+  /// \brief Reusable scratch state for allocation-free candidate
+  /// evaluation: the would-be popcount vector plus the candidate/touched
+  /// intersection arrays. One instance per scanning thread; reuse across
+  /// candidates to keep the argmin inner loop heap-allocation free.
+  struct EvalScratch {
+    /// Would-be level popcounts, in the EvaluateAdd layout.
+    std::vector<size_t> pops;
+    /// Candidate word positions with a matching touched word.
+    std::vector<uint32_t> cand;
+    /// Touched-index positions, parallel to `cand`.
+    std::vector<uint32_t> pos;
+    /// Arena start of each matched column, parallel to `cand`.
+    std::vector<uint32_t> cstart;
+    /// Stored (nonzero-prefix) height of each matched column.
+    std::vector<uint32_t> cheight;
+  };
 
   /// \brief Evaluates adding `v` without mutating the group.
   ///
@@ -68,6 +106,27 @@ class GroupLevelSet {
   /// that would have >= m active tenants.
   std::vector<size_t> EvaluateAdd(const ActivityVector& v) const;
 
+  /// \brief EvaluateAdd into `scratch->pops`, reusing its buffers.
+  void EvaluateAddInto(const ActivityVector& v, EvalScratch* scratch) const;
+
+  /// \brief Pruned EvaluateAdd-and-compare against an incumbent outcome.
+  ///
+  /// Computes the would-be level popcounts top-down and compares them
+  /// against `incumbent` under the Fig 5.3 total order (exact-level counts
+  /// from the highest level downward — CompareCandidateLevels in
+  /// placement/two_step.h is the canonical definition). Returns negative if
+  /// adding `v` is the strictly better (smaller) outcome, positive if
+  /// strictly worse, 0 on a full tie. As soon as a level strictly exceeds
+  /// the incumbent's the evaluation is abandoned — the pruning that keeps
+  /// the argmin cheap — so `scratch->pops` is complete (and equal to
+  /// EvaluateAdd) only when the result is <= 0.
+  ///
+  /// `incumbent` must be an EvaluateAdd outcome against this same group
+  /// state (so incumbent.size() <= MaxActive() + 1) and non-empty.
+  int EvaluateAddCompare(const ActivityVector& v,
+                         const std::vector<size_t>& incumbent,
+                         EvalScratch* scratch) const;
+
   /// \brief TTP(r) computed from EvaluateAdd popcounts.
   double TtpFromPopcounts(const std::vector<size_t>& at_least_pops,
                           int r) const;
@@ -75,11 +134,48 @@ class GroupLevelSet {
   /// \brief Level popcounts (epochs with >= m active), m = 1..MaxActive().
   const std::vector<size_t>& level_popcounts() const { return pops_; }
 
+  /// \brief Words of the touched index (union of members' nonzero words).
+  size_t touched_words() const { return touched_.size(); }
+
+  /// \brief Bytes held by the sparse level storage (touched index plus the
+  /// per-level word columns and cached popcounts), by element count.
+  size_t MemoryBytes() const;
+
+  /// \brief Bytes the same levels would occupy as dense full-horizon
+  /// bitmaps (the pre-sparse representation): levels x ceil(d/64) words.
+  size_t DenseEquivalentBytes() const;
+
  private:
+  /// Merges `widx` into the touched index, inserting height-zero columns
+  /// (the arena itself is unchanged — only the column starts shift), and
+  /// writes each candidate word's touched position into `cand_pos`
+  /// (parallel to `widx`).
+  void MergeTouched(const std::vector<uint32_t>& widx,
+                    std::vector<uint32_t>* cand_pos);
+
+  /// Fills scratch->cand/pos/cstart/cheight with the candidate/touched
+  /// intersection and returns the popcount of the candidate words outside
+  /// the touched index (those can only contribute to level 1).
+  size_t IntersectTouched(const ActivityVector& v, EvalScratch* scratch) const;
+
+  /// Rewrites the candidate columns listed in `cand_pos` (sorted) with the
+  /// ragged new columns in `new_words` (`new_first[j]`/`new_heights[j]`
+  /// delimit column j's words), recompacting the arena and column starts.
+  void SpliceColumns(const std::vector<uint32_t>& cand_pos,
+                     const std::vector<uint64_t>& new_words,
+                     const std::vector<uint32_t>& new_first,
+                     const std::vector<uint32_t>& new_heights);
+
   size_t num_epochs_;
   int num_tenants_ = 0;
-  std::vector<DynamicBitmap> levels_;  // levels_[m-1] = L_m
-  std::vector<size_t> pops_;           // cached popcount per level
+  /// Sorted word indices where any member has activity.
+  std::vector<uint32_t> touched_;
+  /// Column p's nonzero level prefix lives at
+  /// arena_[col_start_[p] .. col_start_[p+1]): entry i is level i+1's word.
+  /// col_start_ has touched_.size()+1 entries (empty when touched_ is).
+  std::vector<uint32_t> col_start_;
+  std::vector<uint64_t> arena_;
+  std::vector<size_t> pops_;  // cached popcount per level
 };
 
 }  // namespace thrifty

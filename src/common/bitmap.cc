@@ -1,9 +1,22 @@
 #include "common/bitmap.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace thrifty {
+
+size_t PopcountWords(const uint64_t* words, size_t count) {
+  size_t total = 0;
+  for (size_t w = 0; w < count; ++w) total += std::popcount(words[w]);
+  return total;
+}
+
+size_t AndPopcountWords(const uint64_t* a, const uint64_t* b, size_t count) {
+  size_t total = 0;
+  for (size_t w = 0; w < count; ++w) total += std::popcount(a[w] & b[w]);
+  return total;
+}
 
 void DynamicBitmap::SetRange(size_t begin, size_t end) {
   end = std::min(end, num_bits_);
@@ -22,18 +35,12 @@ void DynamicBitmap::SetRange(size_t begin, size_t end) {
 }
 
 size_t DynamicBitmap::Popcount() const {
-  size_t total = 0;
-  for (uint64_t w : words_) total += std::popcount(w);
-  return total;
+  return PopcountWords(words_.data(), words_.size());
 }
 
 size_t DynamicBitmap::AndPopcount(const DynamicBitmap& other) const {
   assert(num_bits_ == other.num_bits_);
-  size_t total = 0;
-  for (size_t w = 0; w < words_.size(); ++w) {
-    total += std::popcount(words_[w] & other.words_[w]);
-  }
-  return total;
+  return AndPopcountWords(words_.data(), other.words_.data(), words_.size());
 }
 
 void DynamicBitmap::OrWith(const DynamicBitmap& other) {

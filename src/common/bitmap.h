@@ -15,6 +15,12 @@
 
 namespace thrifty {
 
+/// \brief Number of set bits in `count` words.
+size_t PopcountWords(const uint64_t* words, size_t count);
+
+/// \brief Number of set bits of a & b over two parallel `count`-word spans.
+size_t AndPopcountWords(const uint64_t* a, const uint64_t* b, size_t count);
+
 /// \brief Fixed-size packed bitmap (one bit per epoch index).
 class DynamicBitmap {
  public:

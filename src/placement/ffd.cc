@@ -75,6 +75,8 @@ Result<GroupingSolution> SolveFfd(const PackingProblem& problem,
   for (auto& bin : bins) {
     bin.group.ttp = bin.levels->Ttp(r);
     bin.group.max_active = bin.levels->MaxActive();
+    bin.group.level_set_bytes = bin.levels->MemoryBytes();
+    bin.group.level_set_dense_bytes = bin.levels->DenseEquivalentBytes();
     solution.groups.push_back(std::move(bin.group));
   }
   solution.solve_seconds =

@@ -88,6 +88,18 @@ double GroupingSolution::ConsolidationEffectiveness(
                    static_cast<double>(requested_nodes);
 }
 
+size_t GroupingSolution::LevelSetBytes() const {
+  size_t total = 0;
+  for (const auto& g : groups) total += g.level_set_bytes;
+  return total;
+}
+
+size_t GroupingSolution::LevelSetDenseBytes() const {
+  size_t total = 0;
+  for (const auto& g : groups) total += g.level_set_dense_bytes;
+  return total;
+}
+
 double GroupingSolution::AverageGroupSize() const {
   if (groups.empty()) return 0;
   size_t total = 0;

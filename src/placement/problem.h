@@ -65,6 +65,11 @@ struct TenantGroupResult {
   double ttp = 1.0;
   /// Maximum concurrently active tenants over the history.
   int max_active = 0;
+  /// Bytes of the group's sparse level-set storage when the solver closed
+  /// it (0 for solvers that do not report it).
+  size_t level_set_bytes = 0;
+  /// Bytes the same levels would occupy as dense full-horizon bitmaps.
+  size_t level_set_dense_bytes = 0;
 };
 
 /// \brief A grouping (packing) solution.
@@ -72,9 +77,19 @@ struct GroupingSolution {
   std::vector<TenantGroupResult> groups;
   /// Wall-clock seconds the solver spent.
   double solve_seconds = 0;
+  /// Warm-start accounting (two-step only): seed groups revalidated and
+  /// kept vs dissolved back into singletons. Both 0 on a cold solve.
+  size_t warm_groups_kept = 0;
+  size_t warm_groups_dissolved = 0;
 
   /// \brief Total nodes used: sum over groups of R * max_nodes.
   int64_t NodesUsed(int replication_factor) const;
+
+  /// \brief Sum of the groups' sparse level-set bytes at close time.
+  size_t LevelSetBytes() const;
+
+  /// \brief Sum of the groups' dense-equivalent level-set bytes.
+  size_t LevelSetDenseBytes() const;
 
   /// \brief Fraction of requested nodes saved: 1 - used / requested.
   double ConsolidationEffectiveness(int replication_factor,

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "activity/level_set.h"
@@ -96,18 +98,32 @@ struct BestCandidate {
 };
 
 /// Left-to-right scan of raw slots [lo, hi), skipping tombstones — the
-/// serial argmin, reused verbatim as the per-shard scan.
+/// serial argmin, reused verbatim as the per-shard scan. The scratch
+/// buffers are reused across every candidate in the shard (no per-candidate
+/// heap allocation), and a candidate is abandoned as soon as its top-down
+/// partial exact-level counts fall behind the shard incumbent — both
+/// outcome-invisible: the winner and its popcounts equal the plain
+/// EvaluateAdd + TakesOver scan's.
 void ScanShard(const GroupLevelSet& levels,
                const std::vector<const PackingItem*>& slots, size_t lo,
-               size_t hi, BestCandidate* best) {
+               size_t hi, BestCandidate* best,
+               GroupLevelSet::EvalScratch* scratch) {
   for (size_t s = lo; s < hi; ++s) {
     const PackingItem* item = slots[s];
     if (item == nullptr) continue;
-    std::vector<size_t> pops = levels.EvaluateAdd(*item->activity);
-    if (best->item == nullptr ||
-        TakesOver(best->pops, best->item->tenant_id, pops,
-                  item->tenant_id)) {
-      best->pops = std::move(pops);
+    bool take;
+    if (best->item == nullptr || best->pops.empty()) {
+      // No incumbent (or an empty-outcome one): replaced unconditionally,
+      // so the candidate needs a full evaluation, not a comparison.
+      levels.EvaluateAddInto(*item->activity, scratch);
+      take = true;
+    } else {
+      int cmp = levels.EvaluateAddCompare(*item->activity, best->pops,
+                                          scratch);
+      take = cmp < 0 || (cmp == 0 && item->tenant_id > best->item->tenant_id);
+    }
+    if (take) {
+      best->pops.swap(scratch->pops);
       best->item = item;
       best->slot = s;
     }
@@ -121,7 +137,9 @@ constexpr size_t kMinShardSlots = 192;
 
 BestCandidate FindBestCandidate(const GroupLevelSet& levels,
                                 const CandidateList& remaining,
-                                ThreadPool* pool) {
+                                ThreadPool* pool,
+                                std::vector<GroupLevelSet::EvalScratch>*
+                                    scratch) {
   const auto& slots = remaining.slots();
   const size_t lo = remaining.head();
   const size_t span = slots.size() - lo;
@@ -129,13 +147,13 @@ BestCandidate FindBestCandidate(const GroupLevelSet& levels,
   if (shards > span / kMinShardSlots) shards = span / kMinShardSlots;
   if (shards <= 1) {
     BestCandidate best;
-    ScanShard(levels, slots, lo, slots.size(), &best);
+    ScanShard(levels, slots, lo, slots.size(), &best, &(*scratch)[0]);
     return best;
   }
   std::vector<BestCandidate> bests(shards);
   ParallelFor(pool, shards, [&](size_t k) {
     ScanShard(levels, slots, lo + span * k / shards,
-              lo + span * (k + 1) / shards, &bests[k]);
+              lo + span * (k + 1) / shards, &bests[k], &(*scratch)[k]);
   });
   // Reduce shard winners in ascending shard order with the same update
   // rule, so the merged winner equals the serial left-to-right scan's.
@@ -151,10 +169,45 @@ BestCandidate FindBestCandidate(const GroupLevelSet& levels,
   return best;
 }
 
+/// Per-size-class solve output: the closed groups plus warm-start
+/// accounting, merged across classes by the caller.
+struct InitialGroupResult {
+  std::vector<TenantGroupResult> groups;
+  size_t warm_kept = 0;
+  size_t warm_dissolved = 0;
+};
+
+/// Algorithm 2's growth loop: keeps adding the Fig 5.3-best remaining
+/// candidate until the next addition would violate the SLA guarantee, then
+/// closes the group (TTP, max-active, storage gauges).
+void GrowAndClose(const PackingProblem& problem, GroupLevelSet* levels,
+                  TenantGroupResult* group, CandidateList* remaining,
+                  ThreadPool* pool,
+                  std::vector<GroupLevelSet::EvalScratch>* scratch) {
+  const int r = problem.replication_factor;
+  while (!remaining->Empty()) {
+    BestCandidate best = FindBestCandidate(*levels, *remaining, pool, scratch);
+    if (levels->TtpFromPopcounts(best.pops, r) + 1e-12 <
+        problem.sla_fraction) {
+      break;  // adding T_best would violate P; start a new tenant-group
+    }
+    remaining->RemoveSlot(best.slot);
+    levels->Add(*best.item->activity);
+    group->tenant_ids.push_back(best.item->tenant_id);
+  }
+  group->ttp = levels->Ttp(r);
+  group->max_active = levels->MaxActive();
+  group->level_set_bytes = levels->MemoryBytes();
+  group->level_set_dense_bytes = levels->DenseEquivalentBytes();
+}
+
 /// Step 2 over one initial group (all members request `nodes` nodes).
-std::vector<TenantGroupResult> SolveInitialGroup(
+/// `seeds`, when non-null, holds this size class's warm-start groups.
+InitialGroupResult SolveInitialGroup(
     const PackingProblem& problem, int nodes,
-    std::vector<const PackingItem*> members, ThreadPool* pool) {
+    std::vector<const PackingItem*> members,
+    const std::vector<std::vector<const PackingItem*>>* seeds,
+    ThreadPool* pool) {
   const int r = problem.replication_factor;
   // Seeding picks the least active tenant first; sorting the whole list by
   // activity makes that the front element at every iteration.
@@ -165,9 +218,56 @@ std::vector<TenantGroupResult> SolveInitialGroup(
               if (aa != bb) return aa < bb;
               return a->tenant_id < b->tenant_id;
             });
-  CandidateList remaining(std::move(members));
 
-  std::vector<TenantGroupResult> groups;
+  InitialGroupResult result;
+
+  // Warm start: revalidate each seed group against *this* problem's
+  // activity and SLA. Feasible groups are pulled out of the candidate pool
+  // and kept open; infeasible ones dissolve — their members stay in the
+  // pool and re-enter the cold loop below as singletons.
+  std::vector<std::pair<GroupLevelSet, TenantGroupResult>> seeded;
+  if (seeds != nullptr && !seeds->empty()) {
+    std::unordered_set<const PackingItem*> taken;
+    for (const auto& seed_members : *seeds) {
+      if (seed_members.empty()) continue;
+      GroupLevelSet levels(problem.num_epochs);
+      for (const PackingItem* item : seed_members) {
+        levels.Add(*item->activity);
+      }
+      if (levels.Ttp(r) + 1e-12 < problem.sla_fraction) {
+        ++result.warm_dissolved;
+        continue;
+      }
+      ++result.warm_kept;
+      TenantGroupResult group;
+      group.max_nodes = nodes;
+      for (const PackingItem* item : seed_members) {
+        group.tenant_ids.push_back(item->tenant_id);
+        taken.insert(item);
+      }
+      seeded.emplace_back(std::move(levels), std::move(group));
+    }
+    if (!taken.empty()) {
+      members.erase(std::remove_if(members.begin(), members.end(),
+                                   [&](const PackingItem* item) {
+                                     return taken.count(item) > 0;
+                                   }),
+                    members.end());
+    }
+  }
+
+  CandidateList remaining(std::move(members));
+  std::vector<GroupLevelSet::EvalScratch> scratch(
+      pool == nullptr ? 1 : pool->size() + 1);
+
+  // Resume the growth loop on every kept seed group first (in seed order),
+  // so a tightened instance can absorb dissolved singletons...
+  for (auto& [levels, group] : seeded) {
+    GrowAndClose(problem, &levels, &group, &remaining, pool, &scratch);
+    result.groups.push_back(std::move(group));
+  }
+
+  // ...then run the cold seed-and-grow loop over what is left.
   while (!remaining.Empty()) {
     GroupLevelSet levels(problem.num_epochs);
     TenantGroupResult group;
@@ -178,24 +278,10 @@ std::vector<TenantGroupResult> SolveInitialGroup(
     levels.Add(*seed->activity);
     group.tenant_ids.push_back(seed->tenant_id);
 
-    // Grow: per Algorithm 2, pick T_best by the max-active criterion and
-    // close the group if adding T_best would violate the SLA guarantee.
-    while (!remaining.Empty()) {
-      BestCandidate best = FindBestCandidate(levels, remaining, pool);
-      if (levels.TtpFromPopcounts(best.pops, r) + 1e-12 <
-          problem.sla_fraction) {
-        break;  // adding T_best would violate P; start a new tenant-group
-      }
-      remaining.RemoveSlot(best.slot);
-      levels.Add(*best.item->activity);
-      group.tenant_ids.push_back(best.item->tenant_id);
-    }
-
-    group.ttp = levels.Ttp(r);
-    group.max_active = levels.MaxActive();
-    groups.push_back(std::move(group));
+    GrowAndClose(problem, &levels, &group, &remaining, pool, &scratch);
+    result.groups.push_back(std::move(group));
   }
-  return groups;
+  return result;
 }
 
 }  // namespace
@@ -217,6 +303,34 @@ Result<GroupingSolution> SolveTwoStep(const PackingProblem& problem,
     sized.emplace_back(nodes, std::move(members));
   }
 
+  // Split the optional warm-start grouping per size class (step 1 is a
+  // pure partition by requested nodes, so a seed group can only survive
+  // within one class; spanning groups are split). Unknown ids are skipped
+  // and duplicated ids count only once, so a stale seed stays safe.
+  std::map<int, std::vector<std::vector<const PackingItem*>>> seeds_by_size;
+  if (options.warm_start != nullptr) {
+    std::unordered_map<TenantId, const PackingItem*> by_id;
+    for (const auto& item : problem.items) by_id[item.tenant_id] = &item;
+    std::unordered_set<TenantId> seen;
+    for (const auto& seed_group : options.warm_start->groups) {
+      std::map<int, std::vector<const PackingItem*>> split;
+      for (TenantId id : seed_group.tenant_ids) {
+        auto it = by_id.find(id);
+        if (it == by_id.end() || !seen.insert(id).second) continue;
+        split[it->second->nodes].push_back(it->second);
+      }
+      for (auto& [nodes, seed_members] : split) {
+        seeds_by_size[nodes].push_back(std::move(seed_members));
+      }
+    }
+  }
+  std::vector<const std::vector<std::vector<const PackingItem*>>*> seeds(
+      sized.size(), nullptr);
+  for (size_t g = 0; g < sized.size(); ++g) {
+    auto it = seeds_by_size.find(sized[g].first);
+    if (it != seeds_by_size.end()) seeds[g] = &it->second;
+  }
+
   std::unique_ptr<ThreadPool> pool;
   if (options.solver_jobs > 1) {
     pool = std::make_unique<ThreadPool>(options.solver_jobs - 1);
@@ -225,15 +339,20 @@ Result<GroupingSolution> SolveTwoStep(const PackingProblem& problem,
   // Node-size initial groups are independent: solve them as parallel tasks
   // (each of which also shards its candidate argmin over the same pool) and
   // splice the per-size results back in descending-size order.
-  std::vector<std::vector<TenantGroupResult>> per_size(sized.size());
+  std::vector<InitialGroupResult> per_size(sized.size());
   ParallelFor(pool.get(), sized.size(), [&](size_t g) {
     per_size[g] = SolveInitialGroup(problem, sized[g].first,
-                                    std::move(sized[g].second), pool.get());
+                                    std::move(sized[g].second), seeds[g],
+                                    pool.get());
   });
 
   GroupingSolution solution;
-  for (auto& groups : per_size) {
-    for (auto& group : groups) solution.groups.push_back(std::move(group));
+  for (auto& result : per_size) {
+    solution.warm_groups_kept += result.warm_kept;
+    solution.warm_groups_dissolved += result.warm_dissolved;
+    for (auto& group : result.groups) {
+      solution.groups.push_back(std::move(group));
+    }
   }
   solution.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

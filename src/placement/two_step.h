@@ -41,6 +41,18 @@ struct TwoStepOptions {
   /// order, and shard winners are merged in canonical shard order — so
   /// solver_jobs only changes wall-clock time. 1 = the serial code path.
   int solver_jobs = 1;
+  /// Optional seed grouping from a neighbouring sweep point (non-owning;
+  /// must outlive the solve). Each seed group is re-validated against
+  /// *this* problem's activity vectors and SLA: a feasible group is kept as
+  /// an already-open group and the growth loop resumes on it; an infeasible
+  /// one is dissolved back into singletons that re-enter the normal
+  /// seed-and-grow loop. Tenant ids unknown to this problem are skipped, a
+  /// tenant seeded twice counts only in its first group, and a seed group
+  /// spanning several requested-node sizes is split per size class (step 1
+  /// partitions by size first). The warm result is a valid solution but not
+  /// necessarily bit-identical to the cold one — see fig7_1/fig7_5
+  /// --warm-start for the measured effectiveness deltas.
+  const GroupingSolution* warm_start = nullptr;
 };
 
 /// \brief Solves the problem with the two-step heuristic.

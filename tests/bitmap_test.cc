@@ -142,5 +142,25 @@ TEST(BitmapTest, RandomizedAgainstReference) {
   }
 }
 
+TEST(BitmapTest, WordSpanPopcounts) {
+  const std::vector<uint64_t> a = {0xff, 0, ~uint64_t{0}, 1};
+  const std::vector<uint64_t> b = {0x0f, 7, ~uint64_t{0}, 2};
+  EXPECT_EQ(PopcountWords(a.data(), a.size()), 8u + 0 + 64 + 1);
+  EXPECT_EQ(PopcountWords(a.data(), 0), 0u);
+  EXPECT_EQ(AndPopcountWords(a.data(), b.data(), a.size()), 4u + 0 + 64 + 0);
+}
+
+TEST(BitmapTest, WordSpanPopcountsMatchBitmapOps) {
+  Rng rng(1234);
+  DynamicBitmap a(777), b(777);
+  for (int i = 0; i < 300; ++i) {
+    a.Set(rng.NextBounded(777));
+    b.Set(rng.NextBounded(777));
+  }
+  EXPECT_EQ(PopcountWords(a.data(), a.num_words()), a.Popcount());
+  EXPECT_EQ(AndPopcountWords(a.data(), b.data(), a.num_words()),
+            a.AndPopcount(b));
+}
+
 }  // namespace
 }  // namespace thrifty

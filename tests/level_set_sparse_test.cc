@@ -1,0 +1,234 @@
+// Sparse/dense equivalence for GroupLevelSet: a randomized property test
+// driving Add/Remove/EvaluateAdd/Ttp/ExactLevelFractions against a dense
+// per-epoch-count reference, including all-zero vectors, single-epoch
+// horizons, and word-boundary (bit 63/64) activity — plus the pruned
+// EvaluateAddCompare against the canonical CompareCandidateLevels order.
+
+#include "activity/level_set.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "placement/two_step.h"
+
+namespace thrifty {
+namespace {
+
+/// Dense reference: the group as a plain per-epoch active-tenant count
+/// array, with every query recomputed by brute force.
+class DenseReference {
+ public:
+  explicit DenseReference(size_t num_epochs) : counts_(num_epochs, 0) {}
+
+  void Add(const ActivityVector& v) {
+    for (size_t k = 0; k < counts_.size(); ++k) counts_[k] += v.Get(k) ? 1 : 0;
+  }
+
+  void Remove(const ActivityVector& v) {
+    for (size_t k = 0; k < counts_.size(); ++k) counts_[k] -= v.Get(k) ? 1 : 0;
+  }
+
+  int MaxActive() const {
+    int max_count = 0;
+    for (int c : counts_) max_count = std::max(max_count, c);
+    return max_count;
+  }
+
+  size_t CountAtLeast(int m) const {
+    size_t total = 0;
+    for (int c : counts_) total += c >= m ? 1 : 0;
+    return total;
+  }
+
+  size_t CountAtMost(int m) const {
+    size_t total = 0;
+    for (int c : counts_) total += c <= m ? 1 : 0;
+    return total;
+  }
+
+  double Ttp(int r) const {
+    if (counts_.empty()) return 1.0;
+    return static_cast<double>(CountAtMost(r)) /
+           static_cast<double>(counts_.size());
+  }
+
+  std::vector<double> ExactLevelFractions() const {
+    std::vector<double> fractions(static_cast<size_t>(MaxActive()));
+    for (size_t m = 1; m <= fractions.size(); ++m) {
+      size_t exact = 0;
+      for (int c : counts_) exact += c == static_cast<int>(m) ? 1 : 0;
+      fractions[m - 1] =
+          static_cast<double>(exact) / static_cast<double>(counts_.size());
+    }
+    return fractions;
+  }
+
+  /// The would-be EvaluateAdd popcounts of adding `v`.
+  std::vector<size_t> EvaluateAdd(const ActivityVector& v) const {
+    std::vector<int> would_be(counts_);
+    int max_count = 0;
+    for (size_t k = 0; k < counts_.size(); ++k) {
+      would_be[k] += v.Get(k) ? 1 : 0;
+      max_count = std::max(max_count, would_be[k]);
+    }
+    std::vector<size_t> pops(static_cast<size_t>(max_count), 0);
+    for (int c : would_be) {
+      for (int m = 1; m <= c; ++m) ++pops[static_cast<size_t>(m) - 1];
+    }
+    return pops;
+  }
+
+ private:
+  std::vector<int> counts_;
+};
+
+/// A pool of bursty vectors, always including an all-zero vector and a
+/// word-boundary vector with activity exactly at bits 63 and 64.
+std::vector<ActivityVector> MakePool(size_t num_epochs, Rng* rng) {
+  std::vector<ActivityVector> pool;
+  for (TenantId id = 0; id < 10; ++id) {
+    DynamicBitmap bits(num_epochs);
+    int runs = static_cast<int>(rng->NextInt(0, 4));
+    for (int r = 0; r < runs; ++r) {
+      size_t begin = rng->NextBounded(num_epochs);
+      bits.SetRange(begin, begin + 1 + rng->NextBounded(num_epochs / 3 + 1));
+    }
+    pool.push_back(ActivityVector::FromBitmap(id, bits));
+  }
+  DynamicBitmap zero(num_epochs);
+  pool.push_back(ActivityVector::FromBitmap(100, zero));
+  if (num_epochs > 64) {
+    DynamicBitmap boundary(num_epochs);
+    boundary.Set(63);
+    boundary.Set(64);
+    pool.push_back(ActivityVector::FromBitmap(101, boundary));
+  }
+  return pool;
+}
+
+void ExpectMatchesReference(const GroupLevelSet& g, const DenseReference& ref,
+                            size_t num_epochs) {
+  int max_active = ref.MaxActive();
+  ASSERT_EQ(g.MaxActive(), max_active);
+  for (int m = 1; m <= max_active + 1; ++m) {
+    ASSERT_EQ(g.CountAtLeast(m), ref.CountAtLeast(m)) << "level " << m;
+  }
+  for (int r = 0; r <= max_active; ++r) {
+    ASSERT_EQ(g.CountAtMost(r), ref.CountAtMost(r)) << "r " << r;
+    ASSERT_DOUBLE_EQ(g.Ttp(r), ref.Ttp(r)) << "r " << r;
+  }
+  ASSERT_EQ(g.ExactLevelFractions(), ref.ExactLevelFractions());
+  // The sparse storage never exceeds its own dense-bitmap equivalent.
+  ASSERT_LE(g.touched_words(), (num_epochs + 63) / 64);
+}
+
+class SparseDenseEquivalence : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SparseDenseEquivalence, RandomAddsRemovesAndEvaluations) {
+  const size_t num_epochs = GetParam();
+  Rng rng(num_epochs * 6151 + 3);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto pool = MakePool(num_epochs, &rng);
+    GroupLevelSet g(num_epochs);
+    DenseReference ref(num_epochs);
+    std::vector<bool> in_group(pool.size(), false);
+    GroupLevelSet::EvalScratch scratch;
+
+    for (int op = 0; op < 50; ++op) {
+      size_t pick = rng.NextBounded(pool.size());
+      if (!in_group[pick]) {
+        // EvaluateAdd (allocating and scratch-reusing forms) must agree
+        // with the dense reference *before* the mutation...
+        std::vector<size_t> expected = ref.EvaluateAdd(pool[pick]);
+        ASSERT_EQ(g.EvaluateAdd(pool[pick]), expected);
+        g.EvaluateAddInto(pool[pick], &scratch);
+        ASSERT_EQ(scratch.pops, expected);
+        // ...and match the actual post-add state.
+        g.Add(pool[pick]);
+        ref.Add(pool[pick]);
+        ASSERT_EQ(g.level_popcounts(), expected);
+        in_group[pick] = true;
+      } else {
+        ASSERT_TRUE(g.Remove(pool[pick]).ok());
+        ref.Remove(pool[pick]);
+        in_group[pick] = false;
+      }
+      ExpectMatchesReference(g, ref, num_epochs);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpochCounts, SparseDenseEquivalence,
+                         ::testing::Values(1, 10, 63, 64, 65, 128, 1000));
+
+// The pruned compare must agree with EvaluateAdd + CompareCandidateLevels
+// for every candidate/incumbent pair, and fill the identical popcount
+// vector whenever it reports a win or tie.
+TEST(SparseLevelSetTest, EvaluateAddCompareMatchesCanonicalOrder) {
+  for (size_t num_epochs : {10u, 64u, 200u, 1000u}) {
+    Rng rng(num_epochs * 31337 + 11);
+    for (int trial = 0; trial < 6; ++trial) {
+      auto pool = MakePool(num_epochs, &rng);
+      GroupLevelSet g(num_epochs);
+      int members = static_cast<int>(rng.NextInt(1, 6));
+      for (int t = 0; t < members; ++t) {
+        g.Add(pool[rng.NextBounded(pool.size())]);
+      }
+      GroupLevelSet::EvalScratch scratch;
+      for (const auto& incumbent_v : pool) {
+        std::vector<size_t> incumbent = g.EvaluateAdd(incumbent_v);
+        if (incumbent.empty()) continue;  // caller handles empty incumbents
+        for (const auto& cand : pool) {
+          std::vector<size_t> full = g.EvaluateAdd(cand);
+          int expected = CompareCandidateLevels(full, incumbent);
+          int got = g.EvaluateAddCompare(cand, incumbent, &scratch);
+          ASSERT_EQ(got < 0, expected < 0);
+          ASSERT_EQ(got > 0, expected > 0);
+          if (got <= 0) {
+            ASSERT_EQ(scratch.pops, full);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseLevelSetTest, MemoryBytesShrinkForSparseActivity) {
+  // 10 bursty tenants over a wide horizon: the touched index covers a small
+  // fraction of the words, so the sparse footprint must undercut the dense
+  // equivalent by a wide margin.
+  const size_t num_epochs = 1 << 16;
+  GroupLevelSet g(num_epochs);
+  for (TenantId id = 0; id < 10; ++id) {
+    DynamicBitmap bits(num_epochs);
+    bits.SetRange(1000 + 64 * static_cast<size_t>(id), 1200);
+    g.Add(ActivityVector::FromBitmap(id, bits));
+  }
+  EXPECT_GT(g.MaxActive(), 1);
+  EXPECT_LT(g.MemoryBytes() * 4, g.DenseEquivalentBytes());
+  EXPECT_EQ(g.DenseEquivalentBytes(),
+            static_cast<size_t>(g.MaxActive()) * (num_epochs / 64) * 8 +
+                static_cast<size_t>(g.MaxActive()) * sizeof(size_t));
+}
+
+TEST(SparseLevelSetTest, TouchedIndexRebuildsAfterDrain) {
+  GroupLevelSet g(256);
+  DynamicBitmap wide(256);
+  wide.SetRange(0, 200);
+  ActivityVector v = ActivityVector::FromBitmap(1, wide);
+  g.Add(v);
+  EXPECT_EQ(g.touched_words(), 4u);
+  ASSERT_TRUE(g.Remove(v).ok());
+  EXPECT_EQ(g.touched_words(), 0u);
+  DynamicBitmap narrow(256);
+  narrow.Set(255);
+  g.Add(ActivityVector::FromBitmap(2, narrow));
+  EXPECT_EQ(g.touched_words(), 1u);
+  EXPECT_EQ(g.CountAtLeast(1), 1u);
+}
+
+}  // namespace
+}  // namespace thrifty

@@ -199,5 +199,131 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<int, double>{3, 0.9999},
                       std::pair<int, double>{3, 1.0}));
 
+// --- Warm start -----------------------------------------------------------
+
+/// A small random instance shared by the warm-start tests.
+std::pair<std::vector<TenantSpec>, std::vector<ActivityVector>>
+WarmStartInstance(uint64_t seed) {
+  Rng rng(seed);
+  const size_t num_epochs = 400;
+  std::vector<ActivityVector> activities;
+  std::vector<TenantSpec> tenants;
+  const int sizes[] = {2, 4};
+  for (TenantId id = 0; id < 30; ++id) {
+    DynamicBitmap bits(num_epochs);
+    int runs = static_cast<int>(rng.NextInt(1, 4));
+    for (int run = 0; run < runs; ++run) {
+      size_t begin = rng.NextBounded(num_epochs);
+      bits.SetRange(begin, begin + 20 + rng.NextBounded(50));
+    }
+    activities.push_back(ActivityVector::FromBitmap(id, bits));
+    TenantSpec spec;
+    spec.id = id;
+    spec.requested_nodes = sizes[rng.NextBounded(2)];
+    tenants.push_back(spec);
+  }
+  return {std::move(tenants), std::move(activities)};
+}
+
+TEST(TwoStepWarmStartTest, SeededSolveIsFeasibleAndKeepsFeasibleSeeds) {
+  auto [tenants, activities] = WarmStartInstance(991);
+  auto problem = MakePackingProblem(tenants, activities, 3, 0.99);
+  ASSERT_TRUE(problem.ok());
+  auto cold = SolveTwoStep(*problem);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(VerifySolution(*problem, *cold).ok());
+
+  // Seeding a solve with its own cold solution: every seed group is
+  // feasible by construction, so all are kept, none dissolved, and the
+  // result (same groups, regrown with nothing left to add) stays valid.
+  TwoStepOptions options;
+  options.warm_start = &*cold;
+  auto warm = SolveTwoStep(*problem, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(VerifySolution(*problem, *warm).ok());
+  EXPECT_EQ(warm->warm_groups_kept, cold->groups.size());
+  EXPECT_EQ(warm->warm_groups_dissolved, 0u);
+  EXPECT_EQ(warm->groups.size(), cold->groups.size());
+  EXPECT_EQ(warm->NodesUsed(3), cold->NodesUsed(3));
+}
+
+TEST(TwoStepWarmStartTest, InfeasibleSeedGroupIsDissolvedNotKept) {
+  auto [tenants, activities] = WarmStartInstance(1733);
+  auto problem = MakePackingProblem(tenants, activities, 3, 0.999);
+  ASSERT_TRUE(problem.ok());
+
+  // One giant seed group per size class: cramming every tenant together
+  // violates the SLA (the cold solve needs several groups), so the seeds
+  // must dissolve back into singletons and the result must still verify.
+  GroupingSolution bad_seed;
+  std::map<int, TenantGroupResult> by_size;
+  for (const auto& t : tenants) {
+    by_size[t.requested_nodes].tenant_ids.push_back(t.id);
+  }
+  for (auto& [nodes, group] : by_size) bad_seed.groups.push_back(group);
+  auto cold = SolveTwoStep(*problem);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_GT(cold->groups.size(), bad_seed.groups.size());
+
+  TwoStepOptions options;
+  options.warm_start = &bad_seed;
+  auto warm = SolveTwoStep(*problem, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(VerifySolution(*problem, *warm).ok());
+  EXPECT_EQ(warm->warm_groups_kept, 0u);
+  EXPECT_EQ(warm->warm_groups_dissolved, bad_seed.groups.size());
+  // Dissolving means no group of the giant seed shape survives.
+  for (const auto& group : warm->groups) {
+    EXPECT_LT(group.tenant_ids.size(), tenants.size() / 2);
+  }
+}
+
+TEST(TwoStepWarmStartTest, SeedAcrossSlaTighteningStaysWithinOnePoint) {
+  // The fig7_5 pattern: solve at a loose P, seed the tight-P solve with
+  // it. Feasible-at-tight-P groups are kept, the rest dissolve, and the
+  // warm effectiveness stays within one percentage point of cold.
+  auto [tenants, activities] = WarmStartInstance(4211);
+  auto loose_problem = MakePackingProblem(tenants, activities, 3, 0.95);
+  auto tight_problem = MakePackingProblem(tenants, activities, 3, 0.999);
+  ASSERT_TRUE(loose_problem.ok());
+  ASSERT_TRUE(tight_problem.ok());
+  auto loose = SolveTwoStep(*loose_problem);
+  ASSERT_TRUE(loose.ok());
+
+  TwoStepOptions options;
+  options.warm_start = &*loose;
+  auto warm = SolveTwoStep(*tight_problem, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(VerifySolution(*tight_problem, *warm).ok());
+  EXPECT_EQ(warm->warm_groups_kept + warm->warm_groups_dissolved,
+            loose->groups.size());
+
+  auto cold = SolveTwoStep(*tight_problem);
+  ASSERT_TRUE(cold.ok());
+  int64_t requested = tight_problem->TotalRequestedNodes();
+  double warm_eff = warm->ConsolidationEffectiveness(3, requested);
+  double cold_eff = cold->ConsolidationEffectiveness(3, requested);
+  EXPECT_NEAR(warm_eff, cold_eff, 0.01);
+}
+
+TEST(TwoStepWarmStartTest, StaleSeedIdsAndDuplicatesAreIgnored) {
+  auto [tenants, activities] = WarmStartInstance(58);
+  auto problem = MakePackingProblem(tenants, activities, 3, 0.99);
+  ASSERT_TRUE(problem.ok());
+
+  GroupingSolution seed;
+  TenantGroupResult g1;
+  g1.tenant_ids = {0, 1, 999};  // 999 does not exist at this sweep point
+  TenantGroupResult g2;
+  g2.tenant_ids = {1, 2};  // tenant 1 already seeded in g1
+  seed.groups = {g1, g2};
+
+  TwoStepOptions options;
+  options.warm_start = &seed;
+  auto warm = SolveTwoStep(*problem, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(VerifySolution(*problem, *warm).ok());
+}
+
 }  // namespace
 }  // namespace thrifty
