@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -300,18 +301,33 @@ Workload GenerateWorkload(const QueryCatalog& catalog,
 }
 
 std::vector<ActivityVector> EpochizeWorkload(const Workload& workload,
-                                             SimDuration epoch_size) {
+                                             SimDuration epoch_size, int jobs,
+                                             EpochizePath path,
+                                             EpochizeGauge* gauge) {
   EpochConfig epochs;
   epochs.epoch_size = epoch_size;
   epochs.begin = 0;
   epochs.end = workload.horizon_end;
-  std::vector<ActivityVector> vectors;
-  vectors.reserve(workload.tenants.size());
-  for (size_t i = 0; i < workload.tenants.size(); ++i) {
-    vectors.push_back(ActivityVector::FromBitmap(
-        workload.tenants[i].id,
-        IntervalsToBitmap(workload.activity[i], epochs)));
-  }
+  std::vector<ActivityVector> vectors(workload.tenants.size());
+  std::optional<ThreadPool> pool;
+  if (jobs > 1) pool.emplace(jobs);
+  // Per-index slot writes keep the output byte-identical for any `jobs`.
+  ParallelFor(pool ? &*pool : nullptr, workload.tenants.size(), [&](size_t i) {
+    if (path == EpochizePath::kStreamed) {
+      vectors[i] = EpochizeIntervals(workload.tenants[i].id,
+                                     workload.activity[i], epochs, gauge);
+    } else {
+      // Legacy reference path: the Θ(d) dense bitmap is the intermediate
+      // the streamed pipeline eliminates; charge it to the gauge for the
+      // window it is alive.
+      size_t bitmap_bytes = ((epochs.NumEpochs() + 63) / 64) * sizeof(uint64_t);
+      if (gauge != nullptr) gauge->Acquire(bitmap_bytes);
+      vectors[i] = ActivityVector::FromBitmap(
+          workload.tenants[i].id,
+          IntervalsToBitmap(workload.activity[i], epochs));
+      if (gauge != nullptr) gauge->Release(bitmap_bytes);
+    }
+  });
   return vectors;
 }
 

@@ -128,9 +128,24 @@ struct Workload {
 Workload GenerateWorkload(const QueryCatalog& catalog,
                           const ExperimentConfig& config);
 
-/// \brief Epochizes a workload's activity.
-std::vector<ActivityVector> EpochizeWorkload(const Workload& workload,
-                                             SimDuration epoch_size);
+/// \brief Which interval->sparse-word pipeline EpochizeWorkload runs.
+///
+/// kStreamed is the production path (StreamedEpochizer, no dense
+/// intermediate); kDense is the legacy reference path retained so benches
+/// can measure the eliminated dense-bitmap footprint and assert the two
+/// paths produce identical vectors.
+enum class EpochizePath { kStreamed, kDense };
+
+/// \brief Epochizes a workload's activity, tenant-sharded over `jobs`
+/// workers (byte-identical output for any value).
+///
+/// If `gauge` is non-null it records the peak bytes of per-tenant
+/// epochization working state (the dense path's Θ(d) bitmaps vs the
+/// streamed path's O(1) walker), summed over in-flight tenants.
+std::vector<ActivityVector> EpochizeWorkload(
+    const Workload& workload, SimDuration epoch_size, int jobs = 1,
+    EpochizePath path = EpochizePath::kStreamed,
+    EpochizeGauge* gauge = nullptr);
 
 /// \brief Result row of one solver run.
 struct SolverRow {

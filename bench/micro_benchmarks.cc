@@ -115,6 +115,22 @@ void BM_IntervalsToBitmap(benchmark::State& state) {
 }
 BENCHMARK(BM_IntervalsToBitmap);
 
+void BM_StreamedEpochize(benchmark::State& state) {
+  // Same interval set as BM_IntervalsToBitmap, but straight to sparse
+  // words: no dense intermediate, and finer grids only cost output words.
+  Rng rng(13);
+  IntervalSet set;
+  for (int i = 0; i < 2000; ++i) {
+    SimTime begin = rng.NextInt(0, 14 * kDay - kHour);
+    set.Add(begin, begin + rng.NextInt(kSecond, kHour));
+  }
+  EpochConfig epochs{state.range(0) * kSecond, 0, 14 * kDay};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EpochizeIntervals(0, set, epochs));
+  }
+}
+BENCHMARK(BM_StreamedEpochize)->Arg(10)->Arg(1);
+
 void BM_RtTtpUpdateAndQuery(benchmark::State& state) {
   RtTtpMonitor monitor(3, 24 * kHour);
   SimTime now = 0;

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
+#include <optional>
+
+#include "activity/streamed_epochizer.h"
+#include "common/thread_pool.h"
 
 namespace thrifty {
 
@@ -17,6 +22,24 @@ ActivityVector ActivityVector::FromBitmap(TenantId tenant_id,
       v.word_bits_.push_back(word);
       v.active_epochs_ += static_cast<size_t>(std::popcount(word));
     }
+  }
+  return v;
+}
+
+ActivityVector ActivityVector::FromWords(TenantId tenant_id,
+                                         size_t num_epochs,
+                                         std::vector<uint32_t> word_indices,
+                                         std::vector<uint64_t> word_bits) {
+  assert(word_indices.size() == word_bits.size());
+  ActivityVector v;
+  v.tenant_id_ = tenant_id;
+  v.num_epochs_ = num_epochs;
+  v.word_indices_ = std::move(word_indices);
+  v.word_bits_ = std::move(word_bits);
+  for (size_t i = 0; i < v.word_bits_.size(); ++i) {
+    assert(v.word_bits_[i] != 0);
+    assert(i == 0 || v.word_indices_[i - 1] < v.word_indices_[i]);
+    v.active_epochs_ += static_cast<size_t>(std::popcount(v.word_bits_[i]));
   }
   return v;
 }
@@ -55,15 +78,20 @@ DynamicBitmap IntervalsToBitmap(const IntervalSet& intervals,
 
 ActivityVector MakeActivityVector(const TenantLog& log,
                                   const EpochConfig& epochs) {
-  return ActivityVector::FromBitmap(
-      log.tenant_id, IntervalsToBitmap(log.ActivityIntervals(), epochs));
+  return EpochizeIntervals(log.tenant_id, log.ActivityIntervals(), epochs);
 }
 
 std::vector<ActivityVector> MakeActivityVectors(
-    const std::vector<TenantLog>& logs, const EpochConfig& epochs) {
-  std::vector<ActivityVector> out;
-  out.reserve(logs.size());
-  for (const auto& log : logs) out.push_back(MakeActivityVector(log, epochs));
+    const std::vector<TenantLog>& logs, const EpochConfig& epochs,
+    int jobs) {
+  std::vector<ActivityVector> out(logs.size());
+  // Each index writes only its own slot, so the tenant shard partition is
+  // free to be scheduling-dependent while the output stays byte-identical.
+  std::optional<ThreadPool> pool;
+  if (jobs > 1) pool.emplace(jobs);
+  ParallelFor(pool ? &*pool : nullptr, logs.size(), [&](size_t i) {
+    out[i] = MakeActivityVector(logs[i], epochs);
+  });
   return out;
 }
 

@@ -35,6 +35,13 @@ class ActivityVector {
   static ActivityVector FromBitmap(TenantId tenant_id,
                                    const DynamicBitmap& bits);
 
+  /// \brief Adopts already-sparse word storage (ascending word indices,
+  /// every word nonzero) — the zero-copy sink of the streamed epochization
+  /// pipeline (activity/streamed_epochizer.h).
+  static ActivityVector FromWords(TenantId tenant_id, size_t num_epochs,
+                                  std::vector<uint32_t> word_indices,
+                                  std::vector<uint64_t> word_bits);
+
   TenantId tenant_id() const { return tenant_id_; }
   size_t num_epochs() const { return num_epochs_; }
 
@@ -68,17 +75,26 @@ class ActivityVector {
   std::vector<uint64_t> word_bits_;
 };
 
-/// \brief Discretizes activity intervals onto the epoch grid.
+/// \brief Discretizes activity intervals onto the epoch grid as a dense
+/// bitmap.
+///
+/// This is the dense *reference* discretization: production construction
+/// streams intervals straight into sparse words (see
+/// activity/streamed_epochizer.h) and never allocates the d-bit bitmap;
+/// tests cross-check the two paths against each other.
 DynamicBitmap IntervalsToBitmap(const IntervalSet& intervals,
                                 const EpochConfig& epochs);
 
-/// \brief Builds the activity vector of one tenant log.
+/// \brief Builds the activity vector of one tenant log (streamed, no dense
+/// intermediate).
 ActivityVector MakeActivityVector(const TenantLog& log,
                                   const EpochConfig& epochs);
 
-/// \brief Builds activity vectors for all logs.
+/// \brief Builds activity vectors for all logs, tenant-sharded over `jobs`
+/// workers (byte-identical output for any value).
 std::vector<ActivityVector> MakeActivityVectors(
-    const std::vector<TenantLog>& logs, const EpochConfig& epochs);
+    const std::vector<TenantLog>& logs, const EpochConfig& epochs,
+    int jobs = 1);
 
 }  // namespace thrifty
 

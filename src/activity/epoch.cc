@@ -6,7 +6,7 @@
 namespace thrifty {
 
 size_t EpochConfig::NumEpochs() const {
-  assert(Valid());
+  if (!Valid()) return 0;
   return static_cast<size_t>((end - begin + epoch_size - 1) / epoch_size);
 }
 

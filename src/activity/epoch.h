@@ -17,7 +17,8 @@ struct EpochConfig {
   SimTime begin = 0;
   SimTime end = 0;
 
-  /// \brief Number of epochs d covering [begin, end).
+  /// \brief Number of epochs d covering [begin, end); 0 for degenerate or
+  /// invalid configs (empty window or non-positive epoch size).
   size_t NumEpochs() const;
 
   /// \brief Epoch index containing time t (t must lie in [begin, end)).

@@ -15,6 +15,7 @@
 #include "activity/activity_vector.h"
 #include "activity/epoch.h"
 #include "activity/level_set.h"
+#include "activity/streamed_epochizer.h"
 #include "common/distributions.h"
 #include "common/histogram.h"
 #include "common/interval.h"

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 
+#include "activity/streamed_epochizer.h"
 #include "scaling/overactive.h"
 
 namespace thrifty {
@@ -83,8 +84,7 @@ void ElasticScaler::CheckGroup(GroupId group_id, WatchedGroup* group,
     if (group->router->HasDedicated(spec.id)) continue;  // already moved out
     IntervalSet history =
         tracker_->ActivityHistory(spec.id, epochs.begin, epochs.end);
-    recent.push_back(ActivityVector::FromBitmap(
-        spec.id, IntervalsToBitmap(history, epochs)));
+    recent.push_back(EpochizeIntervals(spec.id, history, epochs));
   }
   if (recent.size() <= 1) return;  // nothing sensible to split off
 

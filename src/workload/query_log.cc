@@ -1,11 +1,15 @@
 #include "workload/query_log.h"
 
 #include <algorithm>
+#include <bit>
 #include <istream>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <string>
+
+#include "activity/streamed_epochizer.h"
+#include "common/bitmap.h"
 
 namespace thrifty {
 
@@ -94,28 +98,20 @@ double ConditionalActiveTenantRatio(const std::vector<TenantLog>& logs,
                                     SimTime begin, SimTime end,
                                     SimDuration epoch_size) {
   if (logs.empty() || end <= begin || epoch_size <= 0) return 0;
-  size_t num_epochs =
-      static_cast<size_t>((end - begin + epoch_size - 1) / epoch_size);
-  std::vector<uint32_t> counts(num_epochs, 0);
-  for (const auto& log : logs) {
-    // Epochize this tenant's (disjoint, sorted) intervals, merging ranges
-    // that touch the same epoch so the tenant counts once per epoch.
-    size_t next_free_epoch = 0;
-    IntervalSet clipped = log.ActivityIntervals().Clip(begin, end);
-    for (const auto& iv : clipped.intervals()) {
-      size_t first = static_cast<size_t>((iv.begin - begin) / epoch_size);
-      size_t last = static_cast<size_t>((iv.end - 1 - begin) / epoch_size);
-      first = std::max(first, next_free_epoch);
-      for (size_t k = first; k <= last && k < num_epochs; ++k) ++counts[k];
-      next_free_epoch = std::max(next_free_epoch, last + 1);
-    }
-  }
+  EpochConfig epochs{epoch_size, begin, end};
+  // Each tenant counts once per epoch (its streamed nonzero words already
+  // merge intervals sharing an epoch); the busy-epoch set is the OR of all
+  // tenants' words, so only one bit per epoch is ever materialized.
+  DynamicBitmap busy_epochs(epochs.NumEpochs());
   uint64_t total = 0;
-  size_t busy = 0;
-  for (uint32_t c : counts) {
-    total += c;
-    busy += c > 0 ? 1 : 0;
+  for (const auto& log : logs) {
+    ForEachActivityWord(log.ActivityIntervals(), epochs,
+                        [&](uint32_t index, uint64_t bits) {
+                          busy_epochs.mutable_word(index) |= bits;
+                          total += static_cast<uint64_t>(std::popcount(bits));
+                        });
   }
+  size_t busy = busy_epochs.Popcount();
   if (busy == 0) return 0;
   return static_cast<double>(total) /
          (static_cast<double>(busy) * static_cast<double>(logs.size()));

@@ -44,5 +44,60 @@ TEST(EpochTest, Validity) {
   EXPECT_FALSE((EpochConfig{1, 10, 10}.Valid()));
 }
 
+TEST(EpochTest, NumEpochsOnDegenerateConfigs) {
+  // Invalid or empty grids must report zero epochs (not assert or divide
+  // by zero): the streamed epochizer and gauge paths treat d == 0 as "no
+  // grid" rather than UB.
+  EXPECT_EQ((EpochConfig{0, 0, 10}.NumEpochs()), 0u);       // zero width
+  EXPECT_EQ((EpochConfig{-5, 0, 10}.NumEpochs()), 0u);      // negative width
+  EXPECT_EQ((EpochConfig{1, 10, 10}.NumEpochs()), 0u);      // empty window
+  EXPECT_EQ((EpochConfig{1, 10, 5}.NumEpochs()), 0u);       // inverted window
+  EXPECT_EQ((EpochConfig{0, 0, 0}.NumEpochs()), 0u);        // default-ish
+}
+
+TEST(EpochTest, NumEpochsSingleEpochGrids) {
+  EXPECT_EQ((EpochConfig{10 * kSecond, 0, 10 * kSecond}.NumEpochs()), 1u);
+  // Non-divisible: a window shorter than one epoch is still one epoch.
+  EXPECT_EQ((EpochConfig{10 * kSecond, 0, 7 * kSecond}.NumEpochs()), 1u);
+  EXPECT_EQ((EpochConfig{10 * kSecond, 3, 4}.NumEpochs()), 1u);
+}
+
+TEST(EpochTest, EpochOfExactBoundariesNonDivisible) {
+  // [0, 95s) at E=10s: 10 epochs, the last one truncated to [90s, 95s).
+  EpochConfig e{10 * kSecond, 0, 95 * kSecond};
+  EXPECT_EQ(e.EpochOf(e.begin), 0u);
+  EXPECT_EQ(e.EpochOf(10 * kSecond - 1), 0u);
+  EXPECT_EQ(e.EpochOf(10 * kSecond), 1u);
+  EXPECT_EQ(e.EpochOf(90 * kSecond), 9u);
+  // end - 1 lands in the truncated final epoch.
+  EXPECT_EQ(e.EpochOf(e.end - 1), e.NumEpochs() - 1);
+}
+
+TEST(EpochTest, EpochOfEndMinusOneDivisible) {
+  EpochConfig e{10 * kSecond, 50 * kSecond, 150 * kSecond};
+  EXPECT_EQ(e.EpochOf(e.end - 1), e.NumEpochs() - 1);
+  EXPECT_EQ(e.EpochOf(e.begin), 0u);
+}
+
+TEST(EpochTest, EpochEndClampingNonDivisible) {
+  EpochConfig e{10 * kSecond, 0, 95 * kSecond};
+  // Interior epochs end on the grid; the last is clamped to `end`.
+  EXPECT_EQ(e.EpochEnd(0), 10 * kSecond);
+  EXPECT_EQ(e.EpochEnd(8), 90 * kSecond);
+  EXPECT_EQ(e.EpochEnd(9), 95 * kSecond);
+  // Indices past the last epoch stay clamped rather than overshooting.
+  EXPECT_EQ(e.EpochEnd(10), 95 * kSecond);
+  EXPECT_EQ(e.EpochEnd(1000), 95 * kSecond);
+}
+
+TEST(EpochTest, EpochBeginEndRoundTrip) {
+  EpochConfig e{7, 3, 45};  // deliberately awkward: 7ms epochs over 42ms
+  ASSERT_EQ(e.NumEpochs(), 6u);
+  for (size_t k = 0; k < e.NumEpochs(); ++k) {
+    EXPECT_EQ(e.EpochOf(e.EpochBegin(k)), k) << "k=" << k;
+    EXPECT_EQ(e.EpochOf(e.EpochEnd(k) - 1), k) << "k=" << k;
+  }
+}
+
 }  // namespace
 }  // namespace thrifty
