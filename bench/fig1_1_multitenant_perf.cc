@@ -10,8 +10,34 @@
 //      second consolidation opportunity.
 //  (c) Same as (a) for TPC-H Q19, which does NOT scale out linearly, so
 //      the 6-node-shared trick fails for it.
+//
+// The virtual-time processor-sharing executor is audited here. Every
+// scenario runs twice — once on the production finish-tag min-heap
+// (kVirtualTime) and once on the O(k) linear-sweep reference
+// (kDenseReference) — and the bench fails (exit 1) unless the integer
+// (finish_time, query_id) completion streams are byte-identical:
+//
+//   1. the Fig 1.1 panel grid itself (every nodes x tenants x seq/con cell
+//      for Q1 and Q19, plus the panel-b points);
+//   2. a high-concurrency churn point (256 resident queries, 64 under
+//      --smoke) with a node failure + repair mid-flight — also the gate
+//      that the SimCostGauge records at least 4x fewer queries touched per
+//      executor event on the heap than on the dense sweep;
+//   3. a fig7_4-style smoke workload: a generated tenant population
+//      (sessions -> composed logs -> advisor plan at R = 3) replayed
+//      through the full ThriftyService — cluster instances and SLA shadow
+//      instances both — with node failures injected mid-replay.
+//
+// Stream fingerprints (FNV-1a 64) and the per-event cost-gauge readings for
+// both modes are recorded in BENCH_fig1_1_multitenant_perf.json.
+//
+// Extra flags (before the shared ones): --smoke shrinks the churn point
+// for CI.
 
+#include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -19,20 +45,43 @@
 namespace thrifty {
 namespace {
 
+QueryTemplate MakeWorkTemplate(TemplateId id, double work_seconds_per_gb,
+                               double serial = 0.0) {
+  QueryTemplate t;
+  t.id = id;
+  t.name = "churn" + std::to_string(id);
+  t.work_seconds_per_gb = work_seconds_per_gb;
+  t.serial_fraction = serial;
+  return t;
+}
+
+void AppendCompletion(std::string* stream, const QueryCompletion& c) {
+  if (stream == nullptr) return;
+  *stream += "t=" + std::to_string(c.finish_time) +
+             ",q=" + std::to_string(c.query_id) +
+             ",k=" + std::to_string(c.max_concurrency) + ";";
+}
+
 // Runs `tenants` copies of one query template on a shared `nodes`-node
 // instance, each tenant holding `data_gb`; returns mean per-query latency
 // in seconds. Sequential mode runs them one after another; concurrent mode
-// submits all at once.
+// submits all at once. When `stream` is given, every completion is appended
+// to it (the dual-mode audit's byte-compare input).
 double MeasureLatencySeconds(const QueryTemplate& tmpl, int nodes,
-                             double data_gb, int tenants, bool concurrent) {
+                             double data_gb, int tenants, bool concurrent,
+                             PsExecutorMode mode = PsExecutorMode::kVirtualTime,
+                             std::string* stream = nullptr,
+                             SimCostGauge* gauge = nullptr) {
   SimEngine engine;
-  MppdbInstance instance(0, nodes, &engine);
+  engine.set_cost_gauge(gauge);
+  MppdbInstance instance(0, nodes, &engine, InstanceState::kOnline, mode);
   for (TenantId t = 0; t < tenants; ++t) instance.AddTenant(t, data_gb);
   double total_latency = 0;
   int completed = 0;
   instance.set_completion_callback([&](const QueryCompletion& c) {
     total_latency += DurationToSeconds(c.MeasuredLatency());
     ++completed;
+    AppendCompletion(stream, c);
   });
   if (concurrent) {
     for (TenantId t = 0; t < tenants; ++t) {
@@ -79,20 +128,200 @@ void SpeedupPanel(const QueryCatalog& catalog, const char* name) {
   table.Print(std::cout);
 }
 
+// --- Dual-mode executor audit scenarios ---------------------------------
+
+// Audit scenario 1: every Fig 1.1 panel cell, streamed into one string.
+std::string RunPanelGrid(const QueryCatalog& catalog, PsExecutorMode mode,
+                         SimCostGauge* gauge) {
+  std::string stream;
+  for (const char* name : {"TPCH-Q1", "TPCH-Q19"}) {
+    const QueryTemplate& tmpl = catalog.Get(*catalog.FindByName(name));
+    stream += std::string("panel=") + name + ";";
+    for (int nodes : {1, 2, 4, 8, 16, 32}) {
+      for (int tenants : {1, 2, 4}) {
+        for (bool concurrent : {false, true}) {
+          MeasureLatencySeconds(tmpl, nodes, 100, tenants, concurrent, mode,
+                                &stream, gauge);
+        }
+      }
+    }
+  }
+  // Panel (b): the shared 6-node consolidation points.
+  const QueryTemplate& q1 = catalog.Get(*catalog.FindByName("TPCH-Q1"));
+  stream += "panel=b;";
+  MeasureLatencySeconds(q1, 2, 100, 1, false, mode, &stream, gauge);
+  MeasureLatencySeconds(q1, 6, 100, 1, false, mode, &stream, gauge);
+  MeasureLatencySeconds(q1, 6, 100, 2, true, mode, &stream, gauge);
+  return stream;
+}
+
+// Audit scenario 2: high-concurrency churn. `resident` long-running queries
+// pin the concurrency level while short queries arrive and complete under
+// processor sharing, with a node failure and repair mid-flight. This is
+// where the dense sweep's O(k)-per-event cost shows: the gauge ratio gate
+// lives on this scenario.
+std::string RunChurnScenario(PsExecutorMode mode, int resident, int churners,
+                             SimCostGauge* gauge) {
+  SimEngine engine;
+  engine.set_cost_gauge(gauge);
+  MppdbInstance instance(0, 8, &engine, InstanceState::kOnline, mode);
+  for (TenantId t = 0; t < 4; ++t) instance.AddTenant(t, 100);
+  std::string stream;
+  instance.set_completion_callback(
+      [&](const QueryCompletion& c) { AppendCompletion(&stream, c); });
+
+  QueryId next_id = 0;
+  auto submit = [&](TenantId tenant, const QueryTemplate& tmpl) {
+    QuerySubmission s;
+    s.query_id = next_id++;
+    s.tenant_id = tenant;
+    s.template_id = tmpl.id;
+    if (!instance.Submit(s, tmpl).ok()) std::exit(1);
+  };
+
+  // Residents: dedicated work far beyond the service they can receive
+  // while the churners run, so they hold k near `resident` throughout.
+  // 100 GB on 8 nodes at 8.0 s/GB -> 100 s dedicated each.
+  const QueryTemplate long_tmpl = MakeWorkTemplate(1, 8.0);
+  for (int i = 0; i < resident; ++i) {
+    engine.ScheduleAt(10 * i, [&, i](SimTime) { submit(i % 4, long_tmpl); });
+  }
+  // Churners: short queries (mixed awkward sizes) arriving on a cadence
+  // slower than their shared completion time, each triggering a completion
+  // event at full concurrency.
+  const SimTime churn_start = 10 * resident + kSecond;
+  for (int i = 0; i < churners; ++i) {
+    const QueryTemplate tmpl =
+        MakeWorkTemplate(2 + i, 0.004 + 0.0007 * (i % 5), 0.0);
+    engine.ScheduleAt(churn_start + 4 * kSecond * i,
+                      [&, tmpl](SimTime) { submit(0, tmpl); });
+  }
+  // SpeedFactor changes mid-churn: fail one node, then a second, repair one.
+  const SimTime mid = churn_start + 4 * kSecond * (churners / 3);
+  engine.ScheduleAt(mid, [&](SimTime) { (void)instance.InjectNodeFailure(); });
+  engine.ScheduleAt(mid + 30 * kSecond,
+                    [&](SimTime) { (void)instance.InjectNodeFailure(); });
+  engine.ScheduleAt(mid + 90 * kSecond,
+                    [&](SimTime) { (void)instance.RepairNode(); });
+  engine.Run();  // drains the residents too
+  stream += "completed=" + std::to_string(instance.completed_queries()) +
+            ",busy=" + std::to_string(instance.busy_time()) + ";";
+  return stream;
+}
+
+// Audit scenario 3: a fig7_4-style smoke workload — generated tenant logs
+// advised into an R = 3 plan and replayed through the full service (cluster
+// instances and SLA shadow instances on the same executor mode), with node
+// failures injected mid-replay.
+struct ServiceWorkload {
+  std::vector<TenantSpec> tenants;
+  std::vector<TenantLog> logs;
+  DeploymentPlan plan;
+};
+
+ServiceWorkload BuildServiceWorkload(const QueryCatalog& catalog,
+                                     uint64_t seed) {
+  SessionLibrary library(&catalog, {2, 4}, /*sessions_per_class=*/5,
+                         Rng(seed));
+  PopulationOptions pop_options;
+  pop_options.node_sizes = {2, 4};
+  Rng pop_rng = Rng(seed).Fork(1);
+  auto tenants = GenerateTenantPopulation(12, pop_options, &pop_rng);
+  if (!tenants.ok()) std::exit(1);
+  ServiceWorkload w;
+  w.tenants = *tenants;
+  LogComposerOptions composer_options;
+  composer_options.horizon_days = 3;
+  LogComposer composer(&library, composer_options);
+  Rng compose_rng = Rng(seed).Fork(2);
+  auto logs = composer.Compose(&w.tenants, &compose_rng);
+  if (!logs.ok()) std::exit(1);
+  w.logs = *logs;
+  AdvisorOptions advisor_options;
+  advisor_options.replication_factor = 3;
+  advisor_options.sla_fraction = 0.99;
+  advisor_options.epoch_size = 30 * kSecond;
+  DeploymentAdvisor advisor(advisor_options);
+  auto output = advisor.Advise(w.tenants, w.logs, 0, composer.horizon_end());
+  if (!output.ok()) std::exit(1);
+  w.plan = output->plan;
+  return w;
+}
+
+std::string RunServiceReplay(const QueryCatalog& catalog,
+                             const ServiceWorkload& workload,
+                             PsExecutorMode mode, SimCostGauge* gauge) {
+  SimEngine engine;
+  engine.set_cost_gauge(gauge);
+  Cluster cluster(static_cast<int>(workload.plan.TotalNodesUsed()), &engine);
+  cluster.set_executor_mode(mode);
+  ServiceOptions options;
+  options.replication_factor = 3;
+  options.sla_fraction = 0.99;
+  options.elastic_scaling = false;
+  options.executor_mode = mode;
+  ThriftyService service(&engine, &cluster, &catalog, options);
+  if (!service.Deploy(workload.plan).ok()) std::exit(1);
+
+  std::string stream;
+  service.set_completion_hook([&](const QueryOutcome& outcome) {
+    stream += "t=" + std::to_string(outcome.real.finish_time) +
+              ",q=" + std::to_string(outcome.real.query_id) +
+              ",i=" + std::to_string(outcome.real.instance_id) +
+              ",lat=" + std::to_string(outcome.real.MeasuredLatency()) +
+              ",iso=" + std::to_string(outcome.isolated_latency) + ";";
+  });
+  if (!service.ScheduleLogReplay(workload.logs).ok()) std::exit(1);
+  // Degrade two serving MPPDBs mid-replay (auto-replacement on): the §4.4
+  // failure flow the fig7_4 replication factor pays for.
+  engine.ScheduleAt(6 * kHour,
+                    [&](SimTime) { (void)cluster.InjectNodeFailure(0); });
+  engine.ScheduleAt(30 * kHour,
+                    [&](SimTime) { (void)cluster.InjectNodeFailure(1); });
+  engine.Run();
+  stream += "completed=" + std::to_string(service.metrics().completed) +
+            ",sla=" + FormatDouble(service.metrics().SlaAttainment(), 6) + ";";
+  return stream;
+}
+
+std::string Hex64(uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
 }  // namespace
 }  // namespace thrifty
 
-int main() {
+int main(int argc, char** argv) {
   using namespace thrifty;
+  using namespace thrifty::bench;
+
+  const std::string bench_name = "fig1_1_multitenant_perf";
+  bool smoke = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  BenchOptions options = ParseBenchArgs(static_cast<int>(passthrough.size()),
+                                        passthrough.data(), bench_name);
+  BenchReport report(bench_name, options);
+
   QueryCatalog catalog = QueryCatalog::Default();
 
-  bench::PrintBanner(
+  PrintBanner(
       "Figure 1.1(a): TPC-H Q1 speedup under multi-tenancy",
       "Speedup relative to 1 node / 1 tenant. xT-SEQ should track 1T;\n"
       "xT-CON should be x times below it (I/O-bound processor sharing).");
   SpeedupPanel(catalog, "TPCH-Q1");
 
-  bench::PrintBanner(
+  PrintBanner(
       "Figure 1.1(b): Q1 latency, 4 x 2-node tenants",
       "A = dedicated 2-node MPPDB per tenant (the SLA). B/C = one shared\n"
       "6-node MPPDB with 1 or 2 concurrently active tenants. The second\n"
@@ -112,7 +341,7 @@ int main() {
     table.Print(std::cout);
   }
 
-  bench::PrintBanner(
+  PrintBanner(
       "Figure 1.1(c): TPC-H Q19 speedup (non-linear scale-out)",
       "Q19's serial fraction caps its speedup, so concurrent execution on\n"
       "a shared MPPDB cannot be absorbed by extra nodes (points E/F).");
@@ -127,8 +356,103 @@ int main() {
     std::cout << "\nQ19 on shared 6-node with 2 active tenants: "
               << FormatDouble(c, 1) << " s vs dedicated-2-node SLA "
               << FormatDouble(a, 1) << " s -> "
-              << (c <= a ? "SLA met (unexpected!)" : "SLA violated, as in the paper")
+              << (c <= a ? "SLA met (unexpected!)"
+                         : "SLA violated, as in the paper")
               << "\n";
   }
-  return 0;
+
+  // --- Virtual-time executor audit (dense reference vs min-heap) --------
+  PrintBanner(
+      "Virtual-time executor audit",
+      "Every scenario runs on both executor structures; completion streams\n"
+      "must be byte-identical and the heap must touch >= 4x fewer query\n"
+      "records per event than the dense sweep at the churn point." +
+          std::string(smoke ? " [--smoke scenario]" : ""));
+
+  const int resident = smoke ? 64 : 256;
+  const int churners = smoke ? 48 : 96;
+  const ServiceWorkload service_workload =
+      BuildServiceWorkload(catalog, options.SeedOr(1101));
+
+  struct AuditRow {
+    std::string scenario;
+    std::string stream_virtual;
+    std::string stream_dense;
+    SimCostGauge gauge_virtual;
+    SimCostGauge gauge_dense;
+  };
+  AuditRow rows[3];
+  rows[0].scenario = "fig1_1_panels";
+  rows[0].stream_virtual =
+      RunPanelGrid(catalog, PsExecutorMode::kVirtualTime, &rows[0].gauge_virtual);
+  rows[0].stream_dense = RunPanelGrid(catalog, PsExecutorMode::kDenseReference,
+                                      &rows[0].gauge_dense);
+  rows[1].scenario = "churn_k" + std::to_string(resident);
+  rows[1].stream_virtual = RunChurnScenario(
+      PsExecutorMode::kVirtualTime, resident, churners, &rows[1].gauge_virtual);
+  rows[1].stream_dense = RunChurnScenario(PsExecutorMode::kDenseReference,
+                                          resident, churners,
+                                          &rows[1].gauge_dense);
+  rows[2].scenario = "fig7_4_smoke_service";
+  rows[2].stream_virtual =
+      RunServiceReplay(catalog, service_workload, PsExecutorMode::kVirtualTime,
+                       &rows[2].gauge_virtual);
+  rows[2].stream_dense =
+      RunServiceReplay(catalog, service_workload,
+                       PsExecutorMode::kDenseReference, &rows[2].gauge_dense);
+
+  bool streams_identical = true;
+  double churn_gauge_ratio = 0;
+  TablePrinter audit({"scenario", "completions identical", "fp (virtual)",
+                      "events v", "touch/ev dense", "touch/ev virtual",
+                      "ratio", "peak k"});
+  for (AuditRow& row : rows) {
+    const bool identical = row.stream_virtual == row.stream_dense;
+    streams_identical = streams_identical && identical;
+    const uint64_t fp_virtual = Fnv1a64(row.stream_virtual);
+    const uint64_t fp_dense = Fnv1a64(row.stream_dense);
+    const double touch_dense = row.gauge_dense.TouchedPerEvent();
+    const double touch_virtual = row.gauge_virtual.TouchedPerEvent();
+    const double ratio =
+        touch_virtual == 0 ? 0 : touch_dense / touch_virtual;
+    if (row.scenario.rfind("churn", 0) == 0) churn_gauge_ratio = ratio;
+    audit.AddRow({row.scenario, identical ? "yes" : "NO", Hex64(fp_virtual),
+                  std::to_string(row.gauge_virtual.completion_events() +
+                                 row.gauge_virtual.submits()),
+                  FormatDouble(touch_dense, 2),
+                  FormatDouble(touch_virtual, 2),
+                  FormatDouble(ratio, 1) + "x",
+                  std::to_string(row.gauge_virtual.peak_running_set())});
+    report.AddText("stream_fingerprint_virtual_" + row.scenario,
+                   Hex64(fp_virtual));
+    report.AddText("stream_fingerprint_dense_" + row.scenario,
+                   Hex64(fp_dense));
+    report.AddMetric("streams_identical_" + row.scenario, identical ? 1 : 0);
+    report.AddMetric("touched_per_event_dense_" + row.scenario, touch_dense);
+    report.AddMetric("touched_per_event_virtual_" + row.scenario,
+                     touch_virtual);
+    report.AddMetric("touched_per_event_ratio_" + row.scenario, ratio);
+    report.AddMetric(
+        "peak_running_set_" + row.scenario,
+        static_cast<double>(row.gauge_virtual.peak_running_set()));
+  }
+  audit.Print(std::cout);
+
+  const bool gauge_ok = churn_gauge_ratio >= 4.0;
+  const bool audit_passed = streams_identical && gauge_ok;
+  if (!streams_identical) {
+    std::cout << "\nFAIL: virtual-time and dense-reference executors emitted "
+                 "different completion streams\n";
+  }
+  if (!gauge_ok) {
+    std::cout << "\nFAIL: cost-gauge ratio at the churn point is "
+              << FormatDouble(churn_gauge_ratio, 1)
+              << "x, below the required 4x\n";
+  }
+  report.SetResultsTable(audit);
+  report.AddMetric("churn_gauge_ratio", churn_gauge_ratio);
+  report.AddMetric("churn_resident_queries", resident);
+  report.AddMetric("audit_passed", audit_passed ? 1 : 0);
+  report.Write();
+  return audit_passed ? 0 : 1;
 }

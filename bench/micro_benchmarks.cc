@@ -101,6 +101,52 @@ void BM_ProcessorSharingChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_ProcessorSharingChurn)->Arg(1)->Arg(4)->Arg(16);
 
+void BM_InstanceChurn(benchmark::State& state) {
+  // High-concurrency churn, the regime the virtual-time executor targets:
+  // `resident` long queries pin the concurrency while short queries arrive
+  // and complete. Arg 0 selects the executor structure, Arg 1 the resident
+  // count — compare dense/64 vs virtual/64 (and /256) for the O(k) vs
+  // O(log k) per-event gap the fig1_1 audit gates on.
+  PsExecutorMode mode = state.range(0) == 0 ? PsExecutorMode::kDenseReference
+                                            : PsExecutorMode::kVirtualTime;
+  int resident = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimEngine engine;
+    MppdbInstance instance(0, 8, &engine, InstanceState::kOnline, mode);
+    instance.AddTenant(0, 100);
+    QueryTemplate long_tmpl;
+    long_tmpl.id = 0;
+    long_tmpl.work_seconds_per_gb = 800.0;
+    QueryTemplate short_tmpl;
+    short_tmpl.id = 1;
+    short_tmpl.work_seconds_per_gb = 0.004;
+    QueryId next = 0;
+    state.ResumeTiming();
+    for (int q = 0; q < resident; ++q) {
+      QuerySubmission s;
+      s.query_id = next++;
+      s.tenant_id = 0;
+      benchmark::DoNotOptimize(instance.Submit(s, long_tmpl));
+    }
+    for (int q = 0; q < 400; ++q) {
+      QuerySubmission s;
+      s.query_id = next++;
+      s.tenant_id = 0;
+      benchmark::DoNotOptimize(instance.Submit(s, short_tmpl));
+      while (instance.Concurrency() > resident) {
+        engine.Step();  // drive completions at full concurrency
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 400);
+}
+BENCHMARK(BM_InstanceChurn)
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Args({0, 256})
+    ->Args({1, 256});
+
 void BM_IntervalsToBitmap(benchmark::State& state) {
   Rng rng(13);
   IntervalSet set;

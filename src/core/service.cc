@@ -52,7 +52,8 @@ Status ThriftyService::Deploy(const DeploymentPlan& plan) {
       // The isolated-environment counterfactual: a dedicated instance of
       // exactly the requested size, mirroring this tenant's submissions.
       auto shadow = std::make_unique<MppdbInstance>(
-          next_shadow_id_++, tenant.requested_nodes, engine_);
+          next_shadow_id_++, tenant.requested_nodes, engine_,
+          InstanceState::kOnline, options_.executor_mode);
       shadow->AddTenant(tenant.id, tenant.data_gb);
       shadow->set_completion_callback(
           [this](const QueryCompletion& c) { OnShadowCompletion(c); });

@@ -45,6 +45,10 @@ struct ServiceOptions {
   /// A query meets its SLA when normalized performance <= tolerance.
   /// Slightly above 1 to absorb millisecond event rounding.
   double sla_tolerance = 1.01;
+  /// Executor mode for the per-tenant shadow instances. Cluster instances
+  /// take their mode from Cluster::set_executor_mode; set both when running
+  /// a dual-mode audit so the whole service is on one executor.
+  PsExecutorMode executor_mode = PsExecutorMode::kVirtualTime;
 };
 
 /// \brief Outcome of one query: real execution + isolated counterfactual.

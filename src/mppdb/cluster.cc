@@ -23,7 +23,8 @@ Result<MppdbInstance*> Cluster::CreateInstanceOnline(int nodes) {
   }
   nodes_in_use_ += nodes;
   instances_.push_back(std::make_unique<MppdbInstance>(
-      next_instance_id_++, nodes, engine_, InstanceState::kOnline));
+      next_instance_id_++, nodes, engine_, InstanceState::kOnline,
+      executor_mode_));
   if (default_completion_) {
     instances_.back()->set_completion_callback(default_completion_);
   }
@@ -41,7 +42,8 @@ Result<MppdbInstance*> Cluster::CreateInstanceAsync(
   }
   nodes_in_use_ += nodes;
   instances_.push_back(std::make_unique<MppdbInstance>(
-      next_instance_id_++, nodes, engine_, InstanceState::kProvisioning));
+      next_instance_id_++, nodes, engine_, InstanceState::kProvisioning,
+      executor_mode_));
   MppdbInstance* instance = instances_.back().get();
   if (default_completion_) {
     instance->set_completion_callback(default_completion_);

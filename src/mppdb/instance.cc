@@ -26,6 +26,16 @@ const char* InstanceStateToString(InstanceState state) {
   return "unknown";
 }
 
+const char* PsExecutorModeToString(PsExecutorMode mode) {
+  switch (mode) {
+    case PsExecutorMode::kVirtualTime:
+      return "virtual-time";
+    case PsExecutorMode::kDenseReference:
+      return "dense-reference";
+  }
+  return "unknown";
+}
+
 double QueryCompletion::NormalizedPerformance() const {
   if (reference_latency <= 0) return 0;
   return static_cast<double>(MeasuredLatency()) /
@@ -33,8 +43,9 @@ double QueryCompletion::NormalizedPerformance() const {
 }
 
 MppdbInstance::MppdbInstance(InstanceId id, int nodes, SimEngine* engine,
-                             InstanceState initial_state)
-    : id_(id), nodes_(nodes), engine_(engine), state_(initial_state) {
+                             InstanceState initial_state, PsExecutorMode mode)
+    : id_(id), nodes_(nodes), engine_(engine), state_(initial_state),
+      mode_(mode) {
   assert(nodes >= 1);
   assert(engine != nullptr);
   last_progress_update_ = engine->now();
@@ -77,25 +88,99 @@ double MppdbInstance::SpeedFactor() const {
          static_cast<double>(nodes_);
 }
 
-void MppdbInstance::AdvanceProgress(SimTime now) {
-  if (!running_.empty() && now > last_progress_update_) {
-    double share = SpeedFactor() / static_cast<double>(running_.size());
-    double progressed =
+void MppdbInstance::AdvanceVirtualTime(SimTime now) {
+  size_t k = RunningCount();
+  if (k > 0 && now > last_progress_update_) {
+    double share = SpeedFactor() / static_cast<double>(k);
+    virtual_now_ +=
         static_cast<double>(now - last_progress_update_) * share;
-    for (auto& q : running_) q.remaining_ms -= progressed;
   }
   last_progress_update_ = now;
 }
 
-void MppdbInstance::RescheduleCompletion() {
+size_t MppdbInstance::HeapSiftUp(size_t index) {
+  size_t moves = 0;
+  while (index > 0) {
+    size_t parent = (index - 1) / 2;
+    if (!TagLess(heap_[index], heap_[parent])) break;
+    std::swap(heap_[index], heap_[parent]);
+    index = parent;
+    ++moves;
+  }
+  return moves;
+}
+
+size_t MppdbInstance::HeapSiftDown(size_t index) {
+  size_t moves = 0;
+  const size_t n = heap_.size();
+  while (true) {
+    size_t smallest = 2 * index + 1;
+    if (smallest >= n) break;
+    size_t right = smallest + 1;
+    if (right < n && TagLess(heap_[right], heap_[smallest])) smallest = right;
+    if (!TagLess(heap_[smallest], heap_[index])) break;
+    std::swap(heap_[index], heap_[smallest]);
+    index = smallest;
+    ++moves;
+  }
+  return moves;
+}
+
+void MppdbInstance::RecordConcurrencyPeak(uint64_t seq, int concurrency) {
+  while (!concurrency_peaks_.empty() &&
+         concurrency_peaks_.back().concurrency <= concurrency) {
+    concurrency_peaks_.pop_back();
+  }
+  concurrency_peaks_.push_back({seq, concurrency});
+}
+
+int MppdbInstance::MaxConcurrencyDuring(const RunningQuery& q) const {
+  int max_k = q.concurrency_at_admission;
+  // First peak admitted after this query: the highest concurrency the
+  // instance reached between the query's admission and now (entries are
+  // increasing in seq and strictly decreasing in concurrency).
+  auto it = std::upper_bound(
+      concurrency_peaks_.begin(), concurrency_peaks_.end(), q.admission_seq,
+      [](uint64_t seq, const ConcurrencyPeak& p) { return seq < p.seq; });
+  if (it != concurrency_peaks_.end()) max_k = std::max(max_k, it->concurrency);
+  return max_k;
+}
+
+QueryCompletion MppdbInstance::MakeCompletion(const RunningQuery& q,
+                                              SimTime now) const {
+  QueryCompletion c;
+  c.query_id = q.query_id;
+  c.tenant_id = q.tenant_id;
+  c.template_id = q.template_id;
+  c.instance_id = id_;
+  c.submit_time = q.submit_time;
+  c.finish_time = now;
+  c.dedicated_latency = q.dedicated_latency;
+  c.reference_latency = q.reference_latency;
+  c.max_concurrency = MaxConcurrencyDuring(q);
+  return c;
+}
+
+size_t MppdbInstance::RescheduleCompletion() {
   engine_->Cancel(completion_event_);
   completion_event_ = kInvalidEventId;
-  if (running_.empty()) return;
-  double min_remaining = running_[0].remaining_ms;
-  for (const auto& q : running_) {
-    min_remaining = std::min(min_remaining, q.remaining_ms);
+  const size_t k = RunningCount();
+  if (k == 0) return 0;
+  size_t touched;
+  double min_remaining;
+  if (mode_ == PsExecutorMode::kDenseReference) {
+    min_remaining = running_[0].finish_tag - virtual_now_;
+    for (const auto& q : running_) {
+      min_remaining = std::min(min_remaining, q.finish_tag - virtual_now_);
+    }
+    touched = k;
+  } else {
+    // tag - V is monotone in the tag, so the heap top's remaining work is
+    // exactly the minimum the dense sweep computes, bit for bit.
+    min_remaining = heap_.front().finish_tag - virtual_now_;
+    touched = 1;
   }
-  double share = SpeedFactor() / static_cast<double>(running_.size());
+  double share = SpeedFactor() / static_cast<double>(k);
   // Wall time until the least-remaining query completes under the current
   // share. Ceil so the event never fires before the true completion.
   SimDuration wait = static_cast<SimDuration>(
@@ -103,35 +188,62 @@ void MppdbInstance::RescheduleCompletion() {
   if (wait < 1 && min_remaining > kDoneEpsilonMs) wait = 1;
   completion_event_ = engine_->ScheduleAfter(
       wait, [this](SimTime t) { OnCompletionEvent(t); });
+  return touched;
 }
 
 void MppdbInstance::OnCompletionEvent(SimTime now) {
   completion_event_ = kInvalidEventId;
-  AdvanceProgress(now);
+  AdvanceVirtualTime(now);
+  uint64_t touched = 0;
   std::vector<QueryCompletion> done;
-  for (auto it = running_.begin(); it != running_.end();) {
-    if (it->remaining_ms <= kDoneEpsilonMs) {
-      QueryCompletion c;
-      c.query_id = it->query_id;
-      c.tenant_id = it->tenant_id;
-      c.template_id = it->template_id;
-      c.instance_id = id_;
-      c.submit_time = it->submit_time;
-      c.finish_time = now;
-      c.dedicated_latency = it->dedicated_latency;
-      c.reference_latency = it->reference_latency;
-      c.max_concurrency = it->max_concurrency;
-      done.push_back(c);
-      it = running_.erase(it);
-    } else {
-      ++it;
+  if (mode_ == PsExecutorMode::kDenseReference) {
+    // Single stable-partition pass: completions are collected in admission
+    // order and survivors slide down in place. (The historical per-hit
+    // vector::erase was O(k^2) when many queries finish on one event.)
+    touched += running_.size();
+    size_t kept = 0;
+    for (size_t i = 0; i < running_.size(); ++i) {
+      if (running_[i].finish_tag - virtual_now_ <= kDoneEpsilonMs) {
+        done.push_back(MakeCompletion(running_[i], now));
+      } else {
+        if (kept != i) running_[kept] = running_[i];
+        ++kept;
+      }
     }
+    running_.resize(kept);
+  } else {
+    // Pop every served query: the completion set is downward closed in tag
+    // order, so popping stops at the first unserved top. The heap yields
+    // tag order; callbacks must fire in admission order (the dense sweep's
+    // deterministic order), hence the sort of the (usually tiny) batch.
+    std::vector<RunningQuery> batch;
+    while (!heap_.empty()) {
+      ++touched;
+      if (heap_.front().finish_tag - virtual_now_ > kDoneEpsilonMs) break;
+      batch.push_back(heap_.front());
+      heap_.front() = heap_.back();
+      heap_.pop_back();
+      if (!heap_.empty()) touched += HeapSiftDown(0);
+    }
+    std::sort(batch.begin(), batch.end(),
+              [](const RunningQuery& a, const RunningQuery& b) {
+                return a.admission_seq < b.admission_seq;
+              });
+    for (const RunningQuery& q : batch) done.push_back(MakeCompletion(q, now));
+  }
+  for (const QueryCompletion& c : done) {
+    auto it = running_per_tenant_.find(c.tenant_id);
+    assert(it != running_per_tenant_.end());
+    if (--it->second == 0) running_per_tenant_.erase(it);
   }
   completed_queries_ += done.size();
-  if (running_.empty() && !done.empty()) {
+  if (RunningCount() == 0 && !done.empty()) {
     busy_time_ += now - busy_since_;
   }
-  RescheduleCompletion();
+  touched += RescheduleCompletion();
+  if (SimCostGauge* gauge = engine_->cost_gauge()) {
+    gauge->RecordCompletionEvent(touched);
+  }
   // Callbacks fire after internal state is consistent: a callback may submit
   // follow-up queries to this very instance.
   if (on_completion_) {
@@ -150,7 +262,17 @@ Status MppdbInstance::Submit(const QuerySubmission& submission,
     return Status::NotFound("tenant data not deployed on this instance");
   }
   SimTime now = engine_->now();
-  AdvanceProgress(now);
+  AdvanceVirtualTime(now);
+
+  if (RunningCount() == 0) {
+    busy_since_ = now;
+    // Rebase the virtual clock at every busy-period start: no running query
+    // holds a tag, and a small |V| keeps tag - V exact for the integer-ms
+    // work the workloads are built from. The peak deque is unreachable from
+    // any future admission (all have larger seq), so it is dropped too.
+    virtual_now_ = 0;
+    concurrency_peaks_.clear();
+  }
 
   RunningQuery q;
   q.query_id = submission.query_id;
@@ -159,36 +281,30 @@ Status MppdbInstance::Submit(const QuerySubmission& submission,
   q.submit_time = now;
   q.dedicated_latency = tmpl.DedicatedLatency(it->second, nodes_);
   q.reference_latency = submission.reference_latency;
-  q.remaining_ms = static_cast<double>(q.dedicated_latency);
-  q.max_concurrency = static_cast<int>(running_.size()) + 1;
-  if (running_.empty()) busy_since_ = now;
-  running_.push_back(q);
-  int k = static_cast<int>(running_.size());
-  for (auto& r : running_) r.max_concurrency = std::max(r.max_concurrency, k);
-  RescheduleCompletion();
+  q.finish_tag = virtual_now_ + static_cast<double>(q.dedicated_latency);
+  q.admission_seq = ++admission_counter_;
+  int k = static_cast<int>(RunningCount()) + 1;
+  q.concurrency_at_admission = k;
+
+  uint64_t touched = 1;
+  if (mode_ == PsExecutorMode::kDenseReference) {
+    running_.push_back(q);
+  } else {
+    heap_.push_back(q);
+    touched += HeapSiftUp(heap_.size() - 1);
+  }
+  ++running_per_tenant_[q.tenant_id];
+  RecordConcurrencyPeak(q.admission_seq, k);
+  touched += RescheduleCompletion();
+  if (SimCostGauge* gauge = engine_->cost_gauge()) {
+    gauge->RecordSubmit(touched);
+    gauge->RecordRunningSetSize(RunningCount());
+  }
   return Status::OK();
 }
 
 bool MppdbInstance::IsServingTenant(TenantId tenant) const {
-  for (const auto& q : running_) {
-    if (q.tenant_id == tenant) return true;
-  }
-  return false;
-}
-
-int MppdbInstance::ActiveTenantCount() const {
-  int count = 0;
-  for (size_t i = 0; i < running_.size(); ++i) {
-    bool seen = false;
-    for (size_t j = 0; j < i; ++j) {
-      if (running_[j].tenant_id == running_[i].tenant_id) {
-        seen = true;
-        break;
-      }
-    }
-    if (!seen) ++count;
-  }
-  return count;
+  return running_per_tenant_.count(tenant) > 0;
 }
 
 Status MppdbInstance::InjectNodeFailure() {
@@ -196,7 +312,7 @@ Status MppdbInstance::InjectNodeFailure() {
     return Status::FailedPrecondition(
         "instance would lose all serving capacity");
   }
-  AdvanceProgress(engine_->now());
+  AdvanceVirtualTime(engine_->now());
   ++failed_nodes_;
   RescheduleCompletion();
   return Status::OK();
@@ -206,14 +322,14 @@ Status MppdbInstance::RepairNode() {
   if (failed_nodes_ == 0) {
     return Status::FailedPrecondition("no failed node to repair");
   }
-  AdvanceProgress(engine_->now());
+  AdvanceVirtualTime(engine_->now());
   --failed_nodes_;
   RescheduleCompletion();
   return Status::OK();
 }
 
 SimDuration MppdbInstance::busy_time() const {
-  if (running_.empty()) return busy_time_;
+  if (RunningCount() == 0) return busy_time_;
   return busy_time_ + (engine_->now() - busy_since_);
 }
 

@@ -6,11 +6,34 @@
 // workloads are I/O-bound, k concurrent queries each progress at 1/k of their
 // dedicated rate — the behaviour measured in Fig 1.1a (2T-CON runs 2x slower,
 // 4T-CON 4x slower, while xT-SEQ matches single-tenant latency).
+//
+// The executor is formulated in *virtual time*: a per-instance virtual clock
+// V accumulates normalized service (milliseconds at dedicated rate), advancing
+// at SpeedFactor()/k per wall millisecond — an O(1) update regardless of k.
+// Each admitted query gets an immutable finish tag V_admit + dedicated_work;
+// its remaining work at any instant is the single subtraction tag - V, and it
+// completes when that drops to (an epsilon of) zero. Two interchangeable
+// structures realize this:
+//
+//   kVirtualTime (production): a binary min-heap keyed (tag, admission_seq),
+//     so Submit and completion handling are O(log k) and the next completion
+//     falls out of the heap top in O(1).
+//   kDenseReference (audit): the historical O(k) linear sweep over a flat
+//     vector, kept as the reference the virtual-time path is audited against.
+//
+// Both paths run the *identical* floating-point arithmetic (same V updates,
+// same tag construction, same tag - V subtraction, same ceil quantization of
+// the next-event wall time). Since IEEE subtraction is monotone in the tag,
+// min-by-tag equals min-by-remaining and the completion set is downward
+// closed in tag order — so the two paths provably emit byte-identical
+// (finish_time, query_id) completion streams; bench/fig1_1_multitenant_perf
+// gates on exactly that before trusting the heap path.
 
 #ifndef THRIFTY_MPPDB_INSTANCE_H_
 #define THRIFTY_MPPDB_INSTANCE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <unordered_map>
@@ -42,6 +65,20 @@ enum class InstanceState {
 };
 
 const char* InstanceStateToString(InstanceState state);
+
+/// \brief Which running-query structure the processor-sharing executor uses.
+///
+/// Both modes produce byte-identical completion streams (see the header
+/// comment); kDenseReference exists so benches and property tests can audit
+/// the O(log k) production path against the O(k) sweep it replaced.
+enum class PsExecutorMode {
+  /// Finish-tag min-heap: O(log k) per admission/completion (production).
+  kVirtualTime,
+  /// Flat vector with an O(k) sweep per event (audit reference).
+  kDenseReference,
+};
+
+const char* PsExecutorModeToString(PsExecutorMode mode);
 
 /// \brief Record delivered when a query finishes.
 struct QueryCompletion {
@@ -87,11 +124,13 @@ class MppdbInstance {
   /// scaling) create it in kProvisioning and drive the state machine via
   /// SetState.
   MppdbInstance(InstanceId id, int nodes, SimEngine* engine,
-                InstanceState initial_state = InstanceState::kOnline);
+                InstanceState initial_state = InstanceState::kOnline,
+                PsExecutorMode mode = PsExecutorMode::kVirtualTime);
 
   InstanceId id() const { return id_; }
   int nodes() const { return nodes_; }
   InstanceState state() const { return state_; }
+  PsExecutorMode executor_mode() const { return mode_; }
 
   /// \brief Transitions the lifecycle state (provisioning flows only).
   void SetState(InstanceState state);
@@ -120,16 +159,19 @@ class MppdbInstance {
   Status Submit(const QuerySubmission& submission, const QueryTemplate& tmpl);
 
   /// \brief True if no query is currently executing ("free" in Algorithm 1).
-  bool IsFree() const { return running_.empty(); }
+  bool IsFree() const { return RunningCount() == 0; }
 
-  /// \brief True if any of `tenant`'s queries is currently executing.
+  /// \brief True if any of `tenant`'s queries is currently executing. O(1).
   bool IsServingTenant(TenantId tenant) const;
 
   /// \brief Number of queries currently executing.
-  int Concurrency() const { return static_cast<int>(running_.size()); }
+  int Concurrency() const { return static_cast<int>(RunningCount()); }
 
   /// \brief Number of distinct tenants with queries currently executing.
-  int ActiveTenantCount() const;
+  /// O(1) via the per-tenant running-count map.
+  int ActiveTenantCount() const {
+    return static_cast<int>(running_per_tenant_.size());
+  }
 
   /// \brief Marks one node as failed: the instance stays online but serves
   /// at reduced rate ((nodes - failed)/nodes), per "all major MPPDB products
@@ -155,15 +197,38 @@ class MppdbInstance {
     SimTime submit_time;
     SimDuration dedicated_latency;
     SimDuration reference_latency;
-    double remaining_ms;  // at dedicated (unshared, unfailed) rate
-    int max_concurrency;
+    /// Virtual time at which this query's work is fully served (immutable:
+    /// V at admission + dedicated work in normalized ms).
+    double finish_tag;
+    /// Admission order, for deterministic equal-tag ties and for the
+    /// concurrency high-water query at completion.
+    uint64_t admission_seq;
+    /// Concurrency right after this query's own admission.
+    int concurrency_at_admission;
   };
 
-  /// \brief Applies elapsed progress to all running queries.
-  void AdvanceProgress(SimTime now);
+  /// One entry per admission that raised the concurrency profile: the
+  /// suffix-max structure behind max_concurrency. Entries are strictly
+  /// decreasing in concurrency front-to-back and increasing in seq, so the
+  /// highest concurrency among admissions after seq r is the first entry
+  /// with seq > r (binary search, size bounded by peak concurrency).
+  struct ConcurrencyPeak {
+    uint64_t seq;
+    int concurrency;
+  };
 
-  /// \brief (Re)schedules the next-completion event.
-  void RescheduleCompletion();
+  size_t RunningCount() const {
+    return mode_ == PsExecutorMode::kVirtualTime ? heap_.size()
+                                                 : running_.size();
+  }
+
+  /// \brief Advances the virtual clock to wall time `now`: O(1) for any k.
+  void AdvanceVirtualTime(SimTime now);
+
+  /// \brief (Re)schedules the next-completion event. Returns the number of
+  /// query records read to find the minimum (charged to the cost gauge by
+  /// the caller).
+  size_t RescheduleCompletion();
 
   /// \brief Fires completions whose work has been fully served.
   void OnCompletionEvent(SimTime now);
@@ -171,15 +236,52 @@ class MppdbInstance {
   /// \brief Current service rate factor (node failures slow the instance).
   double SpeedFactor() const;
 
+  QueryCompletion MakeCompletion(const RunningQuery& q, SimTime now) const;
+
+  /// \brief Highest concurrency the instance saw during `q`'s lifetime.
+  int MaxConcurrencyDuring(const RunningQuery& q) const;
+
+  /// \brief Records the post-admission concurrency in the peak deque.
+  void RecordConcurrencyPeak(uint64_t seq, int concurrency);
+
+  // Min-heap helpers over heap_ keyed (finish_tag, admission_seq); each
+  // returns the number of records moved so the cost gauge counts real work.
+  static bool TagLess(const RunningQuery& a, const RunningQuery& b) {
+    return a.finish_tag < b.finish_tag ||
+           (a.finish_tag == b.finish_tag && a.admission_seq < b.admission_seq);
+  }
+  size_t HeapSiftUp(size_t index);
+  size_t HeapSiftDown(size_t index);
+
   InstanceId id_;
   int nodes_;
   SimEngine* engine_;
   InstanceState state_;
+  PsExecutorMode mode_;
   int failed_nodes_ = 0;
 
   std::unordered_map<TenantId, double> tenant_data_gb_;
-  std::vector<RunningQuery> running_;
+
+  /// Virtual clock: normalized service delivered per running query since the
+  /// current busy period began (rebased to 0 whenever the instance goes
+  /// idle, which bounds the magnitude and keeps tag - V well conditioned).
+  double virtual_now_ = 0;
   SimTime last_progress_update_ = 0;
+  uint64_t admission_counter_ = 0;
+
+  /// kDenseReference: admission-ordered flat vector (O(k) sweep per event).
+  std::vector<RunningQuery> running_;
+  /// kVirtualTime: binary min-heap by (finish_tag, admission_seq).
+  std::vector<RunningQuery> heap_;
+
+  /// Count of running queries per tenant (entries erased at zero), making
+  /// IsServingTenant O(1) and ActiveTenantCount O(1).
+  std::unordered_map<TenantId, int> running_per_tenant_;
+
+  /// Monotone deque of concurrency peaks (see ConcurrencyPeak); replaces
+  /// the O(k) per-admission max_concurrency write-back.
+  std::deque<ConcurrencyPeak> concurrency_peaks_;
+
   EventId completion_event_ = kInvalidEventId;
   CompletionCallback on_completion_;
 

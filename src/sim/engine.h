@@ -6,6 +6,7 @@
 #include <cstddef>
 
 #include "common/status.h"
+#include "sim/cost_gauge.h"
 #include "sim/event_queue.h"
 
 namespace thrifty {
@@ -46,10 +47,17 @@ class SimEngine {
   /// \brief Number of pending events.
   size_t events_pending() const { return queue_.LiveCount(); }
 
+  /// \brief Attaches a per-event cost gauge; every MppdbInstance driven by
+  /// this engine charges its executor work to it. Pass nullptr to detach.
+  /// The gauge must outlive the engine's use of it.
+  void set_cost_gauge(SimCostGauge* gauge) { cost_gauge_ = gauge; }
+  SimCostGauge* cost_gauge() const { return cost_gauge_; }
+
  private:
   SimTime now_ = 0;
   EventQueue queue_;
   size_t events_processed_ = 0;
+  SimCostGauge* cost_gauge_ = nullptr;
 };
 
 }  // namespace thrifty

@@ -1,0 +1,359 @@
+// Randomized equivalence harness for the virtual-time processor-sharing
+// executor: MppdbInstance in kVirtualTime (finish-tag min-heap) and
+// kDenseReference (linear sweep) mode must emit byte-identical
+// (finish_time, query_id, max_concurrency) completion streams and agree on
+// every derived observable (busy time, active-tenant counts) over arbitrary
+// interleavings of arrivals, completions, node failures and repairs. Every
+// randomized case derives its script from an id-keyed Rng fork, so a failure
+// names the case id and replays deterministically.
+//
+// The harness also carries the brute-force max_concurrency oracle: the
+// historical O(k) write-back semantics ("highest concurrency seen during the
+// query's life, sampled after each admission") replayed in test code and
+// checked against the monotone-deque implementation in both modes.
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mppdb/instance.h"
+#include "mppdb/query_model.h"
+#include "sim/engine.h"
+
+namespace thrifty {
+namespace {
+
+QueryTemplate MakeTemplate(TemplateId id, double work_seconds_per_gb,
+                           double serial = 0.0) {
+  QueryTemplate t;
+  t.id = id;
+  t.name = "q" + std::to_string(id);
+  t.work_seconds_per_gb = work_seconds_per_gb;
+  t.serial_fraction = serial;
+  return t;
+}
+
+enum class OpKind { kSubmit, kFail, kRepair };
+
+struct Op {
+  SimTime time = 0;
+  OpKind kind = OpKind::kSubmit;
+  TenantId tenant = 1;
+  QueryTemplate tmpl;
+};
+
+struct Script {
+  int nodes = 4;
+  std::vector<std::pair<TenantId, double>> tenants;  // (id, data_gb)
+  std::vector<Op> ops;
+};
+
+// Replays `script` against one instance and returns a textual trace of every
+// observable: completion stream lines (in callback order) interleaved with
+// post-op samples. Two executor modes are equivalent iff their traces match
+// byte for byte. `oracle_failures` collects max_concurrency mismatches
+// against the brute-force O(k) write-back oracle.
+std::vector<std::string> RunScript(const Script& script, PsExecutorMode mode,
+                                   std::vector<std::string>* oracle_failures) {
+  SimEngine engine;
+  SimCostGauge gauge;
+  engine.set_cost_gauge(&gauge);
+  MppdbInstance instance(0, script.nodes, &engine, InstanceState::kOnline,
+                         mode);
+  for (const auto& [tenant, gb] : script.tenants) {
+    instance.AddTenant(tenant, gb);
+  }
+
+  std::vector<std::string> trace;
+  // Brute-force oracle: per running query, the max concurrency sampled after
+  // each admission (the pre-refactor O(k) write-back semantics).
+  std::unordered_map<QueryId, int> oracle_max;
+
+  instance.set_completion_callback([&](const QueryCompletion& c) {
+    std::ostringstream line;
+    line << "done t=" << c.finish_time << " q=" << c.query_id
+         << " tenant=" << c.tenant_id << " lat=" << c.MeasuredLatency()
+         << " maxk=" << c.max_concurrency;
+    trace.push_back(line.str());
+    auto it = oracle_max.find(c.query_id);
+    if (it == oracle_max.end()) {
+      oracle_failures->push_back("completion for unknown query " +
+                                 std::to_string(c.query_id));
+    } else {
+      if (it->second != c.max_concurrency) {
+        oracle_failures->push_back(
+            "q=" + std::to_string(c.query_id) + " oracle max_concurrency " +
+            std::to_string(it->second) + " != reported " +
+            std::to_string(c.max_concurrency));
+      }
+      oracle_max.erase(it);
+    }
+  });
+
+  QueryId next_query_id = 100;
+  for (const Op& op : script.ops) {
+    engine.ScheduleAt(op.time, [&, op](SimTime now) {
+      switch (op.kind) {
+        case OpKind::kSubmit: {
+          QuerySubmission s;
+          s.query_id = next_query_id++;
+          s.tenant_id = op.tenant;
+          s.template_id = op.tmpl.id;
+          Status status = instance.Submit(s, op.tmpl);
+          if (status.ok()) {
+            int k = instance.Concurrency();
+            for (auto& [qid, mk] : oracle_max) mk = std::max(mk, k);
+            oracle_max[s.query_id] = k;
+          }
+          break;
+        }
+        case OpKind::kFail:
+          (void)instance.InjectNodeFailure();
+          break;
+        case OpKind::kRepair:
+          (void)instance.RepairNode();
+          break;
+      }
+      std::ostringstream line;
+      line << "op t=" << now << " k=" << instance.Concurrency()
+           << " active=" << instance.ActiveTenantCount()
+           << " failed=" << instance.failed_nodes()
+           << " free=" << instance.IsFree();
+      for (const auto& [tenant, gb] : script.tenants) {
+        line << " s" << tenant << "=" << instance.IsServingTenant(tenant);
+      }
+      trace.push_back(line.str());
+    });
+  }
+  engine.Run();
+
+  std::ostringstream tail;
+  tail << "end t=" << engine.now() << " completed="
+       << instance.completed_queries() << " busy=" << instance.busy_time()
+       << " events=" << engine.events_processed();
+  trace.push_back(tail.str());
+  if (!oracle_max.empty()) {
+    trace.push_back("unfinished=" + std::to_string(oracle_max.size()));
+  }
+  return trace;
+}
+
+void ExpectModesEquivalent(const Script& script) {
+  std::vector<std::string> oracle_virtual, oracle_dense;
+  std::vector<std::string> trace_virtual =
+      RunScript(script, PsExecutorMode::kVirtualTime, &oracle_virtual);
+  std::vector<std::string> trace_dense =
+      RunScript(script, PsExecutorMode::kDenseReference, &oracle_dense);
+  EXPECT_EQ(trace_virtual, trace_dense);
+  EXPECT_TRUE(oracle_virtual.empty())
+      << "virtual-time oracle mismatch: " << oracle_virtual.front();
+  EXPECT_TRUE(oracle_dense.empty())
+      << "dense oracle mismatch: " << oracle_dense.front();
+}
+
+Script RandomScript(Rng* rng) {
+  Script script;
+  script.nodes = static_cast<int>(rng->NextInt(1, 8));
+  int num_tenants = static_cast<int>(rng->NextInt(1, 4));
+  for (TenantId t = 1; t <= num_tenants; ++t) {
+    script.tenants.push_back({t, 20.0 + 10.0 * rng->NextDouble() * t});
+  }
+
+  int num_ops = static_cast<int>(rng->NextInt(1, 40));
+  SimTime t = 0;
+  for (int i = 0; i < num_ops; ++i) {
+    Op op;
+    // Dense arrival spacing (including zero gaps, so ops collide with each
+    // other and with in-flight completion instants).
+    t += rng->NextInt(0, 3000);
+    op.time = t;
+    double roll = rng->NextDouble();
+    if (roll < 0.75) {
+      op.kind = OpKind::kSubmit;
+      op.tenant = static_cast<TenantId>(rng->NextInt(1, num_tenants));
+      // Mix of round and awkward work sizes; non-dyadic shares (k=3,5,...)
+      // are what stress the floating-point equivalence.
+      double work = rng->NextBool(0.5)
+                        ? static_cast<double>(rng->NextInt(1, 10)) * 0.1
+                        : 0.01 + rng->NextDouble() * 0.5;
+      op.tmpl = MakeTemplate(static_cast<TemplateId>(i + 1), work,
+                             rng->NextBool(0.3) ? 0.1 : 0.0);
+    } else if (roll < 0.9) {
+      op.kind = OpKind::kFail;
+    } else {
+      op.kind = OpKind::kRepair;
+    }
+    script.ops.push_back(op);
+  }
+  return script;
+}
+
+TEST(VirtualTimeEquivalenceTest, RandomizedInterleavings) {
+  constexpr uint64_t kCases = 400;
+  for (uint64_t case_id = 0; case_id < kCases; ++case_id) {
+    SCOPED_TRACE("case_id=" + std::to_string(case_id) +
+                 " (replay: Rng(0x9EAF).Fork(case_id))");
+    Rng rng = Rng(0x9EAF).Fork(case_id);
+    Script script = RandomScript(&rng);
+    ExpectModesEquivalent(script);
+    if (::testing::Test::HasFailure()) break;  // first failing case replays
+  }
+}
+
+TEST(VirtualTimeEquivalenceTest, SimultaneousCompletions) {
+  // Eight identical queries admitted at once finish on one completion event;
+  // both modes must emit them in admission order at the same tick.
+  Script script;
+  script.nodes = 4;
+  script.tenants = {{1, 100.0}, {2, 100.0}};
+  for (int i = 0; i < 8; ++i) {
+    Op op;
+    op.time = 0;
+    op.tenant = (i % 2) + 1;
+    op.tmpl = MakeTemplate(1, 1.0);  // 100 GB / 4 nodes -> 25 s dedicated
+    script.ops.push_back(op);
+  }
+  ExpectModesEquivalent(script);
+}
+
+TEST(VirtualTimeEquivalenceTest, SpeedFactorChangeMidFlight) {
+  // Failure then repair while queries are in flight: the virtual clock rate
+  // changes twice; tags never change.
+  Script script;
+  script.nodes = 4;
+  script.tenants = {{1, 100.0}};
+  Op a;
+  a.time = 0;
+  a.tmpl = MakeTemplate(1, 1.0);
+  Op b = a;
+  b.time = 5'000;
+  b.tmpl = MakeTemplate(2, 0.37);
+  Op fail;
+  fail.time = 10'000;
+  fail.kind = OpKind::kFail;
+  Op fail2 = fail;
+  fail2.time = 12'000;
+  Op repair;
+  repair.time = 30'000;
+  repair.kind = OpKind::kRepair;
+  script.ops = {a, b, fail, fail2, repair};
+  ExpectModesEquivalent(script);
+}
+
+TEST(VirtualTimeEquivalenceTest, SubmitAtCompletionInstant) {
+  // 100 GB / 4 nodes at 1.0 s/GB completes at exactly t=25s; a submission
+  // scheduled for the same tick lands while the completion event is queued.
+  Script script;
+  script.nodes = 4;
+  script.tenants = {{1, 100.0}, {2, 100.0}};
+  Op a;
+  a.time = 0;
+  a.tenant = 1;
+  a.tmpl = MakeTemplate(1, 1.0);
+  Op b;
+  b.time = 25 * kSecond;
+  b.tenant = 2;
+  b.tmpl = MakeTemplate(2, 0.5);
+  Op c = b;  // two submissions on the completion tick
+  c.tenant = 1;
+  c.tmpl = MakeTemplate(3, 0.25);
+  script.ops = {a, b, c};
+  ExpectModesEquivalent(script);
+}
+
+TEST(VirtualTimeEquivalenceTest, EpsilonResidueFromNonDyadicShares) {
+  // Three-way sharing on a degraded 3-node instance: shares of 1/3 and 2/9
+  // leave sub-epsilon floating-point residue at the ceil'd completion tick.
+  // Both modes must classify the residue identically.
+  Script script;
+  script.nodes = 3;
+  script.tenants = {{1, 90.0}, {2, 90.0}, {3, 90.0}};
+  Op fail;
+  fail.time = 0;
+  fail.kind = OpKind::kFail;
+  script.ops.push_back(fail);
+  for (int i = 0; i < 3; ++i) {
+    Op op;
+    op.time = 1000 * i;
+    op.tenant = i + 1;
+    op.tmpl = MakeTemplate(i + 1, 0.1 + 0.07 * i);
+    script.ops.push_back(op);
+  }
+  ExpectModesEquivalent(script);
+}
+
+TEST(VirtualTimeEquivalenceTest, MaxConcurrencyMatchesWritebackSemantics) {
+  // Satellite check for the removed O(k) write-back: staggered arrivals and
+  // departures with hand-computed high-water marks, asserted in both modes.
+  for (PsExecutorMode mode :
+       {PsExecutorMode::kVirtualTime, PsExecutorMode::kDenseReference}) {
+    SCOPED_TRACE(PsExecutorModeToString(mode));
+    SimEngine engine;
+    MppdbInstance instance(0, 4, &engine, InstanceState::kOnline, mode);
+    instance.AddTenant(1, 100.0);
+    std::vector<QueryCompletion> done;
+    instance.set_completion_callback(
+        [&](const QueryCompletion& c) { done.push_back(c); });
+
+    auto submit = [&](QueryId qid, double work) {
+      QuerySubmission s;
+      s.query_id = qid;
+      s.tenant_id = 1;
+      QueryTemplate t = MakeTemplate(1, work);
+      ASSERT_TRUE(instance.Submit(s, t).ok());
+    };
+    // q1 alone (k=1), then q2 joins (k=2), q3 joins (k=3); q3 is short and
+    // leaves; then q4 joins after the peak (k back to 3).
+    engine.ScheduleAt(0, [&](SimTime) { submit(1, 4.0); });          // 100s
+    engine.ScheduleAt(10'000, [&](SimTime) { submit(2, 4.0); });
+    engine.ScheduleAt(20'000, [&](SimTime) { submit(3, 0.1); });     // 2.5s
+    engine.ScheduleAt(40'000, [&](SimTime) { submit(4, 0.1); });
+    engine.Run();
+
+    ASSERT_EQ(done.size(), 4u);
+    std::unordered_map<QueryId, int> maxk;
+    for (const auto& c : done) maxk[c.query_id] = c.max_concurrency;
+    EXPECT_EQ(maxk[1], 3);  // saw the k=3 peak while q3 was in flight
+    EXPECT_EQ(maxk[2], 3);
+    EXPECT_EQ(maxk[3], 3);
+    EXPECT_EQ(maxk[4], 3);  // admitted into k=3 (q1, q2 still running)
+  }
+}
+
+TEST(VirtualTimeEquivalenceTest, CostGaugeSeparatesModes) {
+  // High concurrency on one instance: the dense sweep touches O(k) records
+  // per event, the heap O(log k). The gauge must reflect that gap — it is
+  // the measurement the fig1_1 bench gates on.
+  auto run = [](PsExecutorMode mode) {
+    SimEngine engine;
+    SimCostGauge gauge;
+    engine.set_cost_gauge(&gauge);
+    MppdbInstance instance(0, 4, &engine, InstanceState::kOnline, mode);
+    instance.AddTenant(1, 100.0);
+    for (int i = 0; i < 128; ++i) {
+      engine.ScheduleAt(10 * i, [&, i](SimTime) {
+        QuerySubmission s;
+        s.query_id = i;
+        s.tenant_id = 1;
+        QueryTemplate t = MakeTemplate(1, 0.5 + 0.01 * (i % 7));
+        ASSERT_TRUE(instance.Submit(s, t).ok());
+      });
+    }
+    engine.Run();
+    EXPECT_EQ(instance.completed_queries(), 128u);
+    EXPECT_EQ(gauge.peak_running_set(), 128u);
+    return gauge.TouchedPerEvent();
+  };
+  double dense = run(PsExecutorMode::kDenseReference);
+  double virt = run(PsExecutorMode::kVirtualTime);
+  EXPECT_GT(dense, 4.0 * virt)
+      << "dense=" << dense << " virtual=" << virt;
+}
+
+}  // namespace
+}  // namespace thrifty
