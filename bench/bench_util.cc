@@ -370,6 +370,9 @@ SolverRow RunSolver(GroupingSolver solver, const Workload& workload,
   row.level_set_dense_bytes = solution->LevelSetDenseBytes();
   row.warm_groups_kept = solution->warm_groups_kept;
   row.warm_groups_dissolved = solution->warm_groups_dissolved;
+  row.warm_groups_repaired = solution->warm_groups_repaired;
+  row.warm_members_evicted = solution->warm_members_evicted;
+  row.warm_members_missing = solution->warm_members_missing;
   if (solution_out != nullptr) *solution_out = *std::move(solution);
   return row;
 }

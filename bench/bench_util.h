@@ -160,6 +160,9 @@ struct SolverRow {
   size_t level_set_dense_bytes = 0;  // dense-bitmap equivalent footprint
   size_t warm_groups_kept = 0;       // warm-started solves only
   size_t warm_groups_dissolved = 0;
+  size_t warm_groups_repaired = 0;
+  size_t warm_members_evicted = 0;
+  size_t warm_members_missing = 0;
 };
 
 /// \brief Runs one solver over the epochized problem (verifying the

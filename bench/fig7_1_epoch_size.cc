@@ -289,7 +289,7 @@ int main(int argc, char** argv) {
   // rows above are recorded but not gated (see the header comment).
   if (options.warm_start) {
     TablePrinter warm({"E (s)", "cold (s)", "warm (s)", "saved (s)",
-                       "eff delta (pp)", "kept", "dissolved"});
+                       "eff delta (pp)", "kept", "repaired", "evicted"});
     GroupingSolution previous;
     for (size_t p = 0; p < points.size(); ++p) {
       const Point& point = points[p];
@@ -309,7 +309,8 @@ int main(int argc, char** argv) {
                    FormatDouble(row.solve_seconds, 2),
                    FormatDouble(saved, 2), FormatDouble(delta_pp, 3),
                    std::to_string(row.warm_groups_kept),
-                   std::to_string(row.warm_groups_dissolved)});
+                   std::to_string(row.warm_groups_repaired),
+                   std::to_string(row.warm_members_evicted)});
       report.AddMetric("warm_two_step_solve_seconds_e" + e, row.solve_seconds);
       report.AddMetric("warm_time_saving_e" + e, saved);
       report.AddMetric("warm_eff_delta_pp_e" + e, delta_pp);
@@ -317,6 +318,10 @@ int main(int argc, char** argv) {
                        static_cast<double>(row.warm_groups_kept));
       report.AddMetric("warm_groups_dissolved_e" + e,
                        static_cast<double>(row.warm_groups_dissolved));
+      report.AddMetric("warm_groups_repaired_e" + e,
+                       static_cast<double>(row.warm_groups_repaired));
+      report.AddMetric("warm_members_evicted_e" + e,
+                       static_cast<double>(row.warm_members_evicted));
       previous = std::move(current);
     }
     std::cout << "\nWarm-started two-step pass (sequential; each point "

@@ -45,6 +45,8 @@ Result<AdvisorOutput> DeploymentAdvisor::Advise(
     ActivityVector activity = MakeActivityVector(*it->second, epochs);
     if (activity.ActiveRatio() > options_.always_active_threshold) {
       output.excluded_tenants.push_back(spec);
+      output.excluded_active_ratios.push_back(
+          it->second->ActiveRatio(history_begin, history_end));
       continue;
     }
     if (options_.burst_exclusion_horizon > 0) {
@@ -67,6 +69,8 @@ Result<AdvisorOutput> DeploymentAdvisor::Advise(
         }
         if (imminent) {
           output.excluded_tenants.push_back(spec);
+          output.excluded_active_ratios.push_back(
+              it->second->ActiveRatio(history_begin, history_end));
           continue;
         }
       }
@@ -84,9 +88,14 @@ Result<AdvisorOutput> DeploymentAdvisor::Advise(
       PackingProblem problem,
       MakePackingProblem(consolidated, activities, options_.replication_factor,
                          options_.sla_fraction));
+  TwoStepOptions two_step;
+  two_step.solver_jobs = options_.solver_jobs;
+  two_step.warm_start = options_.warm_start;
+  two_step.warm_repair = options_.warm_repair;
   Result<GroupingSolution> solved =
-      options_.solver == GroupingSolver::kTwoStep ? SolveTwoStep(problem)
-                                                  : SolveFfd(problem);
+      options_.solver == GroupingSolver::kTwoStep
+          ? SolveTwoStep(problem, two_step)
+          : SolveFfd(problem);
   THRIFTY_RETURN_NOT_OK(solved.status());
   output.grouping = std::move(solved).value();
 
@@ -94,6 +103,16 @@ Result<AdvisorOutput> DeploymentAdvisor::Advise(
       output.plan,
       BuildDeploymentPlan(consolidated, output.grouping,
                           options_.replication_factor, options_.sla_fraction));
+  // Record each member's activity fingerprint over the advised window, so
+  // later re-consolidation cycles can detect groups whose activity drifted
+  // without re-solving everything.
+  for (auto& group : output.plan.groups) {
+    group.member_activity_baseline.reserve(group.tenants.size());
+    for (const auto& tenant : group.tenants) {
+      group.member_activity_baseline.push_back(
+          logs_by_id.at(tenant.id)->ActiveRatio(history_begin, history_end));
+    }
+  }
   return output;
 }
 

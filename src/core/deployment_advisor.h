@@ -44,15 +44,29 @@ struct AdvisorOptions {
   /// screening.
   SimDuration burst_exclusion_horizon = 0;
   BurstDetectorOptions burst_detector;
+  /// Worker threads inside the grouping solve (TwoStepOptions::solver_jobs;
+  /// bit-identical output for any value).
+  int solver_jobs = 1;
+  /// Optional warm-start seed for the two-step solver (non-owning; must
+  /// outlive the Advise call). Infeasible seed groups are repaired by
+  /// eviction per `warm_repair`. Ignored by the FFD solver.
+  const GroupingSolution* warm_start = nullptr;
+  /// See TwoStepOptions::warm_repair.
+  bool warm_repair = true;
 };
 
 /// \brief The advisor's output.
 struct AdvisorOutput {
   DeploymentPlan plan;
-  /// The raw grouping (per-group TTP, max-active, solver wall time).
+  /// The raw grouping (per-group TTP, max-active, solver wall time, warm
+  /// kept/repaired/evicted accounting).
   GroupingSolution grouping;
   /// Tenants excluded from consolidation (dedicated service plan).
   std::vector<TenantSpec> excluded_tenants;
+  /// Activity fingerprints of the excluded tenants over the advised
+  /// window, parallel to `excluded_tenants` (the plan's groups carry their
+  /// members' fingerprints in GroupDeployment::member_activity_baseline).
+  std::vector<double> excluded_active_ratios;
 
   /// \brief Nodes consumed by excluded tenants' dedicated MPPDBs.
   int64_t ExcludedNodes() const;

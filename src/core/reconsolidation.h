@@ -6,10 +6,18 @@
 // with the service." Additionally, any tenant-group that went through
 // elastic scaling lands on the re-consolidation list.
 //
-// The planner keeps unaffected tenant-groups exactly as deployed (their
-// MPPDBs and loaded data are untouched) and re-runs tenant grouping only
-// over the affected tenants: members of scaled groups, members of groups
-// that lost a de-registered tenant, and newly registered tenants.
+// The planner is a *delta* solver: it keeps unaffected tenant-groups
+// byte-identically as deployed (same group ids, same MPPDBs, loaded data
+// untouched) and re-runs tenant grouping only over the affected tenants —
+// members of scaled groups, members of groups that lost a de-registered
+// tenant, members of groups whose activity fingerprint drifted beyond
+// ReconsolidationOptions::activity_delta_threshold, and newly registered
+// tenants. The re-solve tries both a warm start from the previous grouping
+// of the affected tenants — the two-step solver's group repair (evict only
+// the members that break the SLA, keep the rest grouped) carries most of
+// the old structure over — and a cold re-grow of the same subset, keeping
+// whichever plan consumes fewer nodes (ties prefer the warm one's stable
+// memberships).
 
 #ifndef THRIFTY_CORE_RECONSOLIDATION_H_
 #define THRIFTY_CORE_RECONSOLIDATION_H_
@@ -20,6 +28,35 @@
 #include "core/deployment_advisor.h"
 
 namespace thrifty {
+
+/// \brief Re-consolidation knobs on top of the advisor configuration.
+struct ReconsolidationOptions {
+  AdvisorOptions advisor;
+  /// Activity-drift screening: a group none of whose explicit triggers
+  /// fired (not scaled, no de-registration) is still re-solved when some
+  /// member's current activity fingerprint (TenantLog::ActiveRatio over
+  /// the cycle's history window) moved more than this from the baseline
+  /// recorded in GroupDeployment::member_activity_baseline. Members with
+  /// no log in `history` or groups without a recorded baseline never
+  /// trigger. Negative disables drift screening (the pre-delta behavior:
+  /// only explicit triggers re-solve).
+  double activity_delta_threshold = -1.0;
+  /// Warm-start the re-solve with the affected groups' previous
+  /// memberships, letting group repair keep feasible structure. The warm
+  /// result is kept only when it consumes no more nodes than a cold
+  /// re-solve of the same subset (seed-kept groups can only grow, so a
+  /// sticky seed can occasionally pack worse; ties keep the warm plan's
+  /// stable memberships). Disable to re-solve the affected tenants cold
+  /// only.
+  bool warm_start_from_plan = true;
+  /// For each size class holding an affected tenant, additionally re-solve
+  /// this many of the class's least-populated unaffected groups (the
+  /// greedy tail), so hard-to-pack affected tenants can merge into their
+  /// spare capacity instead of founding fragment groups — this is what
+  /// keeps the delta plan's effectiveness at the cold solve's level.
+  /// 0 disables (affected tenants are re-solved strictly alone).
+  int absorbers_per_class = 3;
+};
 
 /// \brief Input state for one re-consolidation cycle.
 struct ReconsolidationInput {
@@ -35,31 +72,48 @@ struct ReconsolidationInput {
 
 /// \brief Output of one cycle.
 struct ReconsolidationOutput {
-  /// The updated plan: untouched groups keep their ids; regrouped tenants
-  /// get fresh group ids appended after them.
+  /// The updated plan. Untouched groups keep their group ids and are
+  /// copied byte-identically; regrouped tenants get fresh group ids
+  /// assigned densely starting one past the input plan's highest id, so a
+  /// dissolved group's id is never reused within the cycle.
   DeploymentPlan plan;
   /// Tenants that were regrouped this cycle (excluding de-registered).
   std::vector<TenantSpec> regrouped_tenants;
   /// Group ids carried over untouched.
   std::vector<GroupId> untouched_groups;
+  /// Input-plan group ids that were re-solved this cycle.
+  std::vector<GroupId> resolved_groups;
+  /// How many of `resolved_groups` were triggered purely by activity
+  /// drift (fingerprint moved beyond activity_delta_threshold).
+  size_t drifted_groups = 0;
+  /// How many of `resolved_groups` were opened as absorbers (the
+  /// `absorbers_per_class` least-populated unaffected groups of each size
+  /// class holding an affected tenant).
+  size_t absorber_groups = 0;
+  /// Solver accounting of the delta re-solve (warm kept/repaired/evicted,
+  /// solve wall time). Default-initialized when nothing was affected.
+  GroupingSolution grouping;
 };
 
 /// \brief Plans re-consolidation cycles.
 class ReconsolidationPlanner {
  public:
+  explicit ReconsolidationPlanner(ReconsolidationOptions options);
+  /// Advisor-options-only form: drift screening disabled, warm start on.
   explicit ReconsolidationPlanner(AdvisorOptions options = AdvisorOptions());
 
   /// \brief Computes the next deployment plan.
   ///
   /// `history` must contain logs for every affected tenant (new tenants and
-  /// members of affected groups); logs of untouched tenants are not needed.
+  /// members of affected groups); logs of untouched tenants are only needed
+  /// for drift screening (absent logs simply are not screened).
   Result<ReconsolidationOutput> Plan(const ReconsolidationInput& input,
                                      const std::vector<TenantLog>& history,
                                      SimTime history_begin,
                                      SimTime history_end) const;
 
  private:
-  AdvisorOptions options_;
+  ReconsolidationOptions options_;
 };
 
 }  // namespace thrifty

@@ -30,6 +30,14 @@ struct GroupDeployment {
   /// Grouping quality stats carried over from the solver.
   double ttp = 1.0;
   int max_active = 0;
+  /// Activity fingerprint baseline, parallel to `tenants`: each member's
+  /// active-time fraction over the history window the plan was advised
+  /// from (TenantLog::ActiveRatio). The re-consolidation planner compares
+  /// fresh history against it to detect groups whose activity drifted
+  /// (ReconsolidationOptions::activity_delta_threshold). Empty when the
+  /// plan was built without history (e.g. hand-assembled in tests) — such
+  /// groups are never flagged by drift screening.
+  std::vector<double> member_activity_baseline;
 
   /// \brief Largest member's node count (the parallelism every MPPDB of the
   /// group must offer).

@@ -77,10 +77,19 @@ struct GroupingSolution {
   std::vector<TenantGroupResult> groups;
   /// Wall-clock seconds the solver spent.
   double solve_seconds = 0;
-  /// Warm-start accounting (two-step only): seed groups revalidated and
-  /// kept vs dissolved back into singletons. Both 0 on a cold solve.
+  /// Warm-start accounting (two-step only); all 0 on a cold solve.
+  /// Seed groups feasible as-is and kept open unchanged.
   size_t warm_groups_kept = 0;
+  /// Seed groups dissolved whole into singletons (repair-disabled mode
+  /// only; with repair enabled a seed group never fully dissolves).
   size_t warm_groups_dissolved = 0;
+  /// Seed groups made feasible by evicting members (repair mode).
+  size_t warm_groups_repaired = 0;
+  /// Members evicted from repaired seed groups back into the cold pool.
+  size_t warm_members_evicted = 0;
+  /// Seed members dropped because their tenant id is absent from this
+  /// problem (e.g. de-registered tenants in a stale seed).
+  size_t warm_members_missing = 0;
 
   /// \brief Total nodes used: sum over groups of R * max_nodes.
   int64_t NodesUsed(int replication_factor) const;

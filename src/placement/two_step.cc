@@ -175,7 +175,54 @@ struct InitialGroupResult {
   std::vector<TenantGroupResult> groups;
   size_t warm_kept = 0;
   size_t warm_dissolved = 0;
+  size_t warm_repaired = 0;
+  size_t warm_evicted = 0;
 };
+
+/// Group repair: evicts members from an infeasible seed group until its
+/// fuzzy capacity holds again, removing as few members as the greedy rule
+/// allows. Each round evicts the member whose removal leaves the best
+/// remaining group under the Fig 5.3 total order (fewest epochs at the
+/// highest activity levels — the member contributing most to the SLA
+/// damage), full ties evicting the higher tenant id. The loop always
+/// terminates feasible: a single tenant can never exceed R >= 1 concurrent
+/// actives. `levels` must hold exactly the members of `kept`; on return it
+/// holds the repaired group. Evicted members are erased from `kept` (their
+/// slots in the caller's candidate pool stay live, so they re-enter the
+/// cold loop). Returns the eviction count.
+size_t RepairSeedGroup(const PackingProblem& problem, GroupLevelSet* levels,
+                       std::vector<const PackingItem*>* kept) {
+  const int r = problem.replication_factor;
+  size_t evicted = 0;
+  std::vector<size_t> best_pops;
+  while (kept->size() > 1 &&
+         levels->Ttp(r) + 1e-12 < problem.sla_fraction) {
+    size_t victim = kept->size();
+    best_pops.clear();
+    for (size_t i = 0; i < kept->size(); ++i) {
+      const ActivityVector& activity = *(*kept)[i]->activity;
+      levels->Remove(activity);
+      const std::vector<size_t>& pops = levels->level_popcounts();
+      bool better;
+      if (victim == kept->size()) {
+        better = true;
+      } else {
+        int cmp = CompareCandidateLevels(pops, best_pops);
+        better = cmp < 0 || (cmp == 0 && (*kept)[i]->tenant_id >
+                                            (*kept)[victim]->tenant_id);
+      }
+      if (better) {
+        victim = i;
+        best_pops = pops;
+      }
+      levels->Add(activity);
+    }
+    levels->Remove(*(*kept)[victim]->activity);
+    kept->erase(kept->begin() + static_cast<ptrdiff_t>(victim));
+    ++evicted;
+  }
+  return evicted;
+}
 
 /// Algorithm 2's growth loop: keeps adding the Fig 5.3-best remaining
 /// candidate until the next addition would violate the SLA guarantee, then
@@ -207,7 +254,7 @@ InitialGroupResult SolveInitialGroup(
     const PackingProblem& problem, int nodes,
     std::vector<const PackingItem*> members,
     const std::vector<std::vector<const PackingItem*>>* seeds,
-    ThreadPool* pool) {
+    bool warm_repair, ThreadPool* pool) {
   const int r = problem.replication_factor;
   // Seeding picks the least active tenant first; sorting the whole list by
   // activity makes that the front element at every iteration.
@@ -222,26 +269,35 @@ InitialGroupResult SolveInitialGroup(
   InitialGroupResult result;
 
   // Warm start: revalidate each seed group against *this* problem's
-  // activity and SLA. Feasible groups are pulled out of the candidate pool
-  // and kept open; infeasible ones dissolve — their members stay in the
-  // pool and re-enter the cold loop below as singletons.
+  // activity and SLA, computing the seed's level set and Ttp exactly once.
+  // Feasible groups are pulled out of the candidate pool and kept open;
+  // infeasible ones are repaired in place (the already-built level set is
+  // reused — only the evictees fall back into the pool), or, with repair
+  // disabled, dissolved whole back into the pool as singletons.
   std::vector<std::pair<GroupLevelSet, TenantGroupResult>> seeded;
   if (seeds != nullptr && !seeds->empty()) {
     std::unordered_set<const PackingItem*> taken;
+    std::vector<const PackingItem*> kept;
     for (const auto& seed_members : *seeds) {
       if (seed_members.empty()) continue;
       GroupLevelSet levels(problem.num_epochs);
       for (const PackingItem* item : seed_members) {
         levels.Add(*item->activity);
       }
+      kept = seed_members;
       if (levels.Ttp(r) + 1e-12 < problem.sla_fraction) {
-        ++result.warm_dissolved;
-        continue;
+        if (!warm_repair) {
+          ++result.warm_dissolved;
+          continue;
+        }
+        result.warm_evicted += RepairSeedGroup(problem, &levels, &kept);
+        ++result.warm_repaired;
+      } else {
+        ++result.warm_kept;
       }
-      ++result.warm_kept;
       TenantGroupResult group;
       group.max_nodes = nodes;
-      for (const PackingItem* item : seed_members) {
+      for (const PackingItem* item : kept) {
         group.tenant_ids.push_back(item->tenant_id);
         taken.insert(item);
       }
@@ -305,10 +361,15 @@ Result<GroupingSolution> SolveTwoStep(const PackingProblem& problem,
 
   // Split the optional warm-start grouping per size class (step 1 is a
   // pure partition by requested nodes, so a seed group can only survive
-  // within one class; spanning groups are split). Unknown ids are skipped
-  // and duplicated ids count only once, so a stale seed stays safe.
+  // within one class; spanning groups are split). Stale seed members whose
+  // tenant id is absent from this problem (e.g. de-registered tenants) are
+  // filtered out explicitly and counted, and duplicated ids count only
+  // once, so a stale seed stays safe. A warm start with no seed groups
+  // short-circuits the whole pass — it must not cost more than a cold
+  // solve.
+  size_t warm_members_missing = 0;
   std::map<int, std::vector<std::vector<const PackingItem*>>> seeds_by_size;
-  if (options.warm_start != nullptr) {
+  if (options.warm_start != nullptr && !options.warm_start->groups.empty()) {
     std::unordered_map<TenantId, const PackingItem*> by_id;
     for (const auto& item : problem.items) by_id[item.tenant_id] = &item;
     std::unordered_set<TenantId> seen;
@@ -316,7 +377,11 @@ Result<GroupingSolution> SolveTwoStep(const PackingProblem& problem,
       std::map<int, std::vector<const PackingItem*>> split;
       for (TenantId id : seed_group.tenant_ids) {
         auto it = by_id.find(id);
-        if (it == by_id.end() || !seen.insert(id).second) continue;
+        if (it == by_id.end()) {
+          ++warm_members_missing;
+          continue;
+        }
+        if (!seen.insert(id).second) continue;
         split[it->second->nodes].push_back(it->second);
       }
       for (auto& [nodes, seed_members] : split) {
@@ -343,13 +408,16 @@ Result<GroupingSolution> SolveTwoStep(const PackingProblem& problem,
   ParallelFor(pool.get(), sized.size(), [&](size_t g) {
     per_size[g] = SolveInitialGroup(problem, sized[g].first,
                                     std::move(sized[g].second), seeds[g],
-                                    pool.get());
+                                    options.warm_repair, pool.get());
   });
 
   GroupingSolution solution;
+  solution.warm_members_missing = warm_members_missing;
   for (auto& result : per_size) {
     solution.warm_groups_kept += result.warm_kept;
     solution.warm_groups_dissolved += result.warm_dissolved;
+    solution.warm_groups_repaired += result.warm_repaired;
+    solution.warm_members_evicted += result.warm_evicted;
     for (auto& group : result.groups) {
       solution.groups.push_back(std::move(group));
     }

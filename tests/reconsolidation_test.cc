@@ -1,5 +1,7 @@
 #include "core/reconsolidation.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace thrifty {
@@ -34,6 +36,15 @@ class ReconsolidationTest : public ::testing::Test {
     options_.epoch_size = 5 * kMinute;
   }
 
+  /// Planner options with absorbers pinned off, for tests that assert the
+  /// exact trigger partition (absorbers deliberately widen it).
+  ReconsolidationOptions NoAbsorbers() const {
+    ReconsolidationOptions opts;
+    opts.advisor = options_;
+    opts.absorbers_per_class = 0;
+    return opts;
+  }
+
   DeploymentPlan plan_;
   std::vector<TenantLog> history_;
   AdvisorOptions options_;
@@ -51,7 +62,7 @@ TEST_F(ReconsolidationTest, NothingAffectedKeepsEverything) {
 }
 
 TEST_F(ReconsolidationTest, ScaledGroupIsRegrouped) {
-  ReconsolidationPlanner planner(options_);
+  ReconsolidationPlanner planner(NoAbsorbers());
   ReconsolidationInput input;
   input.current_plan = plan_;
   input.scaled_groups = {0};
@@ -67,7 +78,7 @@ TEST_F(ReconsolidationTest, ScaledGroupIsRegrouped) {
 }
 
 TEST_F(ReconsolidationTest, DeregistrationShrinksItsGroup) {
-  ReconsolidationPlanner planner(options_);
+  ReconsolidationPlanner planner(NoAbsorbers());
   ReconsolidationInput input;
   input.current_plan = plan_;
   input.deregistered = {4};  // member of group 1
@@ -85,7 +96,7 @@ TEST_F(ReconsolidationTest, DeregistrationShrinksItsGroup) {
 }
 
 TEST_F(ReconsolidationTest, NewTenantsJoinTheCycle) {
-  ReconsolidationPlanner planner(options_);
+  ReconsolidationPlanner planner(NoAbsorbers());
   ReconsolidationInput input;
   input.current_plan = plan_;
   TenantSpec fresh;
@@ -129,6 +140,93 @@ TEST_F(ReconsolidationTest, AlwaysActiveRegroupedTenantGetsDedicatedGroup) {
     }
   }
   EXPECT_TRUE(dedicated_found);
+}
+
+TEST_F(ReconsolidationTest, HighestIdGroupDissolveNeverReusesItsId) {
+  // Dissolve the *highest-id* group: untouched groups keep their ids and
+  // fresh groups are numbered densely starting one past the input plan's
+  // maximum id — the dissolved id must never be handed out again this
+  // cycle.
+  ReconsolidationPlanner planner(NoAbsorbers());
+  ReconsolidationInput input;
+  input.current_plan = plan_;
+  input.scaled_groups = {1};
+  auto output = planner.Plan(input, history_, 0, kDay);
+  ASSERT_TRUE(output.ok()) << output.status();
+  EXPECT_EQ(output->untouched_groups, (std::vector<GroupId>{0}));
+  EXPECT_EQ(output->resolved_groups, (std::vector<GroupId>{1}));
+  std::vector<GroupId> fresh;
+  for (const auto& group : output->plan.groups) {
+    if (group.group_id == 0) continue;
+    EXPECT_NE(group.group_id, 1);
+    fresh.push_back(group.group_id);
+  }
+  ASSERT_FALSE(fresh.empty());
+  std::sort(fresh.begin(), fresh.end());
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(fresh[i], static_cast<GroupId>(2 + i));
+  }
+}
+
+TEST_F(ReconsolidationTest, ActivityDriftTriggersResolveOnlyPastThreshold) {
+  // Record each member's plan-time activity ratio as its drift baseline.
+  DeploymentPlan plan = plan_;
+  for (auto& group : plan.groups) {
+    for (const auto& tenant : group.tenants) {
+      group.member_activity_baseline.push_back(
+          history_[static_cast<size_t>(tenant.id)].ActiveRatio(0, kDay));
+    }
+  }
+  // Tenant 1 (group 0) now runs 4 hours instead of 30 minutes: its ratio
+  // moves by ~0.15, far past the 0.05 threshold; everyone else is exactly
+  // on baseline.
+  std::vector<TenantLog> history = history_;
+  history[1].entries.clear();
+  history[1].entries.push_back({2 * kHour, 0, 4 * kHour, -1});
+
+  ReconsolidationOptions opts = NoAbsorbers();
+  opts.activity_delta_threshold = 0.05;
+  ReconsolidationInput input;
+  input.current_plan = plan;
+  {
+    ReconsolidationPlanner planner(opts);
+    auto output = planner.Plan(input, history, 0, kDay);
+    ASSERT_TRUE(output.ok()) << output.status();
+    EXPECT_EQ(output->untouched_groups, (std::vector<GroupId>{1}));
+    EXPECT_EQ(output->resolved_groups, (std::vector<GroupId>{0}));
+    EXPECT_EQ(output->drifted_groups, 1u);
+  }
+  // Negative threshold disables screening: the same drift goes unseen.
+  opts.activity_delta_threshold = -1.0;
+  {
+    ReconsolidationPlanner planner(opts);
+    auto output = planner.Plan(input, history, 0, kDay);
+    ASSERT_TRUE(output.ok()) << output.status();
+    EXPECT_EQ(output->untouched_groups.size(), 2u);
+    EXPECT_EQ(output->drifted_groups, 0u);
+  }
+}
+
+TEST_F(ReconsolidationTest, UnaffectedTailGroupIsOpenedAsAbsorber) {
+  // With absorbers on, a re-solve of group 0 also opens group 1 — the
+  // least-populated unaffected group of the same size class — so affected
+  // tenants can merge into its spare capacity.
+  ReconsolidationOptions opts;
+  opts.advisor = options_;
+  opts.absorbers_per_class = 1;
+  ReconsolidationPlanner planner(opts);
+  ReconsolidationInput input;
+  input.current_plan = plan_;
+  input.scaled_groups = {0};
+  auto output = planner.Plan(input, history_, 0, kDay);
+  ASSERT_TRUE(output.ok()) << output.status();
+  EXPECT_TRUE(output->untouched_groups.empty());
+  EXPECT_EQ(output->resolved_groups, (std::vector<GroupId>{0, 1}));
+  EXPECT_EQ(output->absorber_groups, 1u);
+  EXPECT_EQ(output->regrouped_tenants.size(), 6u);
+  size_t placed = 0;
+  for (const auto& group : output->plan.groups) placed += group.tenants.size();
+  EXPECT_EQ(placed, 6u);
 }
 
 TEST_F(ReconsolidationTest, ConflictingRegistrationRejected) {

@@ -247,14 +247,15 @@ TEST(TwoStepWarmStartTest, SeededSolveIsFeasibleAndKeepsFeasibleSeeds) {
   EXPECT_EQ(warm->NodesUsed(3), cold->NodesUsed(3));
 }
 
-TEST(TwoStepWarmStartTest, InfeasibleSeedGroupIsDissolvedNotKept) {
+TEST(TwoStepWarmStartTest, InfeasibleSeedGroupIsDissolvedWithRepairOff) {
   auto [tenants, activities] = WarmStartInstance(1733);
   auto problem = MakePackingProblem(tenants, activities, 3, 0.999);
   ASSERT_TRUE(problem.ok());
 
   // One giant seed group per size class: cramming every tenant together
-  // violates the SLA (the cold solve needs several groups), so the seeds
-  // must dissolve back into singletons and the result must still verify.
+  // violates the SLA (the cold solve needs several groups). In the legacy
+  // repair-disabled mode the seeds must dissolve whole back into
+  // singletons and the result must still verify.
   GroupingSolution bad_seed;
   std::map<int, TenantGroupResult> by_size;
   for (const auto& t : tenants) {
@@ -267,15 +268,47 @@ TEST(TwoStepWarmStartTest, InfeasibleSeedGroupIsDissolvedNotKept) {
 
   TwoStepOptions options;
   options.warm_start = &bad_seed;
+  options.warm_repair = false;
   auto warm = SolveTwoStep(*problem, options);
   ASSERT_TRUE(warm.ok());
   EXPECT_TRUE(VerifySolution(*problem, *warm).ok());
   EXPECT_EQ(warm->warm_groups_kept, 0u);
   EXPECT_EQ(warm->warm_groups_dissolved, bad_seed.groups.size());
+  EXPECT_EQ(warm->warm_groups_repaired, 0u);
+  EXPECT_EQ(warm->warm_members_evicted, 0u);
   // Dissolving means no group of the giant seed shape survives.
   for (const auto& group : warm->groups) {
     EXPECT_LT(group.tenant_ids.size(), tenants.size() / 2);
   }
+}
+
+TEST(TwoStepWarmStartTest, InfeasibleSeedGroupIsRepairedByEviction) {
+  auto [tenants, activities] = WarmStartInstance(1733);
+  auto problem = MakePackingProblem(tenants, activities, 3, 0.999);
+  ASSERT_TRUE(problem.ok());
+
+  GroupingSolution bad_seed;
+  std::map<int, TenantGroupResult> by_size;
+  for (const auto& t : tenants) {
+    by_size[t.requested_nodes].tenant_ids.push_back(t.id);
+  }
+  for (auto& [nodes, group] : by_size) bad_seed.groups.push_back(group);
+
+  // Default mode: the infeasible seeds are repaired — members are evicted
+  // until the fuzzy capacity holds, the group survives, and nothing is
+  // dissolved whole.
+  TwoStepOptions options;
+  options.warm_start = &bad_seed;
+  auto warm = SolveTwoStep(*problem, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(VerifySolution(*problem, *warm).ok());
+  EXPECT_EQ(warm->warm_groups_dissolved, 0u);
+  EXPECT_EQ(warm->warm_groups_repaired, bad_seed.groups.size());
+  EXPECT_GT(warm->warm_members_evicted, 0u);
+  // Every evictee re-enters the pool, so the solution still covers all
+  // tenants (VerifySolution checks) with fewer groups than full dissolve
+  // would leave only if regrouping merged them — either way each repaired
+  // group's TTP meets P, which VerifySolution also asserts.
 }
 
 TEST(TwoStepWarmStartTest, SeedAcrossSlaTighteningStaysWithinOnePoint) {
@@ -295,8 +328,11 @@ TEST(TwoStepWarmStartTest, SeedAcrossSlaTighteningStaysWithinOnePoint) {
   auto warm = SolveTwoStep(*tight_problem, options);
   ASSERT_TRUE(warm.ok());
   EXPECT_TRUE(VerifySolution(*tight_problem, *warm).ok());
-  EXPECT_EQ(warm->warm_groups_kept + warm->warm_groups_dissolved,
+  // Every seed group is either kept as-is or repaired; none dissolve in
+  // the default repair mode.
+  EXPECT_EQ(warm->warm_groups_kept + warm->warm_groups_repaired,
             loose->groups.size());
+  EXPECT_EQ(warm->warm_groups_dissolved, 0u);
 
   auto cold = SolveTwoStep(*tight_problem);
   ASSERT_TRUE(cold.ok());
