@@ -12,7 +12,10 @@
 //
 // Extra flags (before the shared ones): --tenants=N (default 2000) sizes
 // the workload/two-step stage; --exact-tenants=N (default 12) sizes the
-// synthetic exact-solver instance.
+// synthetic exact-solver instance; --expect=<workload>,<two_step>,<exact>
+// pins the three stage fingerprints (16-hex-digit each) and fails the run
+// on any drift — CI uses this to catch solver-output regressions, not just
+// cross-job nondeterminism.
 
 #include <chrono>
 #include <cstdlib>
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
   const std::string bench_name = "solver_scaling";
   int num_tenants = 2000;
   int exact_tenants = 12;
+  std::vector<std::string> expected_fps;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -67,6 +71,15 @@ int main(int argc, char** argv) {
       num_tenants = std::atoi(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--exact-tenants=", 16) == 0) {
       exact_tenants = std::atoi(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--expect=", 9) == 0) {
+      std::istringstream ss(argv[i] + 9);
+      std::string fp;
+      while (std::getline(ss, fp, ',')) expected_fps.push_back(fp);
+      if (expected_fps.size() != 3) {
+        std::cerr << "--expect needs exactly three comma-separated "
+                     "fingerprints: workload,two_step,exact\n";
+        return 1;
+      }
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -229,6 +242,25 @@ int main(int argc, char** argv) {
   std::cout << "\nfingerprint identity across solver_jobs {1, 2, 4}: "
             << (identical ? "PASS" : "FAIL") << "\n";
 
+  bool expected_match = true;
+  if (!expected_fps.empty()) {
+    const std::pair<const char*, uint64_t> got[] = {
+        {"workload", workload_fps.front()},
+        {"two_step", two_step_fps.front()},
+        {"exact", exact_fps.front()},
+    };
+    for (size_t s = 0; s < 3; ++s) {
+      if (Hex(got[s].second) != expected_fps[s]) {
+        expected_match = false;
+        std::cout << "fingerprint drift in " << got[s].first << ": expected "
+                  << expected_fps[s] << ", got " << Hex(got[s].second) << "\n";
+      }
+    }
+    std::cout << "fingerprints match --expect: "
+              << (expected_match ? "PASS" : "FAIL") << "\n";
+    report.AddMetric("expected_fingerprints_match", expected_match ? 1 : 0);
+  }
+
   report.SetResultsTable(table);
   report.AddMetric("fingerprints_identical", identical ? 1 : 0);
   report.AddText("identity_check",
@@ -239,5 +271,5 @@ int main(int argc, char** argv) {
                  "a 1-core container time-slicing overhead can make "
                  "solver_jobs>1 slower while fingerprints stay identical");
   report.Write();
-  return identical ? 0 : 1;
+  return identical && expected_match ? 0 : 1;
 }

@@ -5,10 +5,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/simd.h"
 #include "core/thrifty.h"
 
 namespace thrifty {
 namespace {
+
+std::vector<uint64_t> RandomWords(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> out(n);
+  for (auto& w : out) w = rng.Next();
+  return out;
+}
 
 std::vector<ActivityVector> MakeOfficeHourTenants(size_t count,
                                                   size_t num_epochs,
@@ -55,6 +63,67 @@ void BM_LevelSetAddRemove(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_LevelSetAddRemove)->Arg(120'000);
+
+// SIMD kernel primitives (common/simd.h) at the span lengths the level-set
+// argmin streams. Labels report the resolved dispatch target; run with
+// THRIFTY_FORCE_SCALAR=1 to benchmark the scalar reference instead.
+void BM_SpanPopcount(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto w = RandomWords(n, 21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::SpanPopcount(w.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * n * 8));
+  state.SetLabel(simd::TargetName());
+}
+BENCHMARK(BM_SpanPopcount)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_FusedAndPopcount(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto a = RandomWords(n, 22);
+  auto b = RandomWords(n, 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::AndPopcount(a.data(), b.data(), n));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * n * 2 * 8));
+  state.SetLabel(simd::TargetName());
+}
+BENCHMARK(BM_FusedAndPopcount)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_OrReduce(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto dst = RandomWords(n, 24);
+  auto src = RandomWords(n, 25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::OrReduce(dst.data(), src.data(), n));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * n * 2 * 8));
+  state.SetLabel(simd::TargetName());
+}
+BENCHMARK(BM_OrReduce)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_ArgminCandidate(benchmark::State& state) {
+  // One pruned candidate evaluation against an incumbent, the inner loop of
+  // FindBestCandidate: plan build + top-down level kernels, allocation-free
+  // after the first iteration.
+  size_t num_epochs = static_cast<size_t>(state.range(0)) * 64;
+  auto tenants = MakeOfficeHourTenants(20, num_epochs, 7);
+  GroupLevelSet group(num_epochs);
+  for (size_t i = 0; i < 10; ++i) group.Add(tenants[i]);
+  std::vector<size_t> incumbent = group.EvaluateAdd(tenants[10]);
+  GroupLevelSet::EvalScratch scratch;
+  size_t next = 11;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        group.EvaluateAddCompare(tenants[next], incumbent, &scratch));
+    next = next == 19 ? 11 : next + 1;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(simd::TargetName());
+}
+BENCHMARK(BM_ArgminCandidate)->Arg(8)->Arg(64)->Arg(1024);
 
 void BM_RoutingDecision(benchmark::State& state) {
   SimEngine engine;

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "activity/streamed_epochizer.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace thrifty {
@@ -20,9 +21,10 @@ ActivityVector ActivityVector::FromBitmap(TenantId tenant_id,
     if (word != 0) {
       v.word_indices_.push_back(static_cast<uint32_t>(w));
       v.word_bits_.push_back(word);
-      v.active_epochs_ += static_cast<size_t>(std::popcount(word));
     }
   }
+  v.active_epochs_ = simd::SpanPopcount(v.word_bits_.data(),
+                                        v.word_bits_.size());
   return v;
 }
 
@@ -39,8 +41,9 @@ ActivityVector ActivityVector::FromWords(TenantId tenant_id,
   for (size_t i = 0; i < v.word_bits_.size(); ++i) {
     assert(v.word_bits_[i] != 0);
     assert(i == 0 || v.word_indices_[i - 1] < v.word_indices_[i]);
-    v.active_epochs_ += static_cast<size_t>(std::popcount(v.word_bits_[i]));
   }
+  v.active_epochs_ = simd::SpanPopcount(v.word_bits_.data(),
+                                        v.word_bits_.size());
   return v;
 }
 

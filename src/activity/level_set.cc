@@ -2,7 +2,10 @@
 
 #include <bit>
 #include <cassert>
+#include <cstring>
 #include <limits>
+
+#include "common/simd.h"
 
 namespace thrifty {
 
@@ -13,6 +16,48 @@ inline size_t Pop(uint64_t word) {
   return static_cast<size_t>(std::popcount(word));
 }
 }  // namespace
+
+/// Candidate-evaluation plan over the height-sorted column intersection.
+///
+/// Columns matched between the candidate and the touched index are held in
+/// *descending stored-height* order (stable over word index), so the
+/// columns participating at level m — those with height >= m-1 — are
+/// exactly the prefix [0, CntAt(m-1)), and within it the sub-prefix
+/// [0, CntAt(m)) still has a stored word at level m while the tail
+/// [CntAt(m), CntAt(m-1)) sits exactly one level above its column top
+/// (old word zero). Level m's stored words across the prefix are gathered
+/// once, on demand, into the contiguous `rows[m]`, which turns every level
+/// body into a span kernel over parallel arrays (simd::OrAndPopcountDelta
+/// and friends) instead of a ragged pointer chase. Reordering columns only
+/// permutes commutative integer sums, so every popcount — and therefore
+/// every solver fingerprint — is unchanged.
+struct GroupLevelSet::EvalPlan {
+  uint64_t* cw = nullptr;        // matched candidate words, height-desc
+  uint32_t* cstart = nullptr;    // arena column starts, parallel to cw
+  uint32_t* cnt = nullptr;       // cnt[m] = #matched columns with h >= m
+  uint64_t** rows = nullptr;     // rows[m] = gathered level-m words
+  uint32_t n = 0;                // matched column count (== cnt[0])
+  uint32_t maxh = 0;             // tallest matched column
+  size_t outside_pop = 0;        // candidate bits outside the touched index
+
+  uint32_t CntAt(size_t m) const {
+    return m <= maxh ? cnt[m] : 0;
+  }
+
+  /// Gathers level m's stored words (m in [1, maxh]) on first use.
+  const uint64_t* Row(size_t m, const std::vector<uint64_t>& arena,
+                      EvalArena* scratch_arena) {
+    uint64_t*& row = rows[m];
+    if (row == nullptr) {
+      uint32_t count = cnt[m];
+      row = scratch_arena->Alloc<uint64_t>(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        row[k] = arena[cstart[k] + m - 1];
+      }
+    }
+    return row;
+  }
+};
 
 GroupLevelSet::GroupLevelSet(size_t num_epochs) : num_epochs_(num_epochs) {}
 
@@ -65,28 +110,71 @@ void GroupLevelSet::MergeTouched(const std::vector<uint32_t>& widx,
   touched_ = std::move(merged);
 }
 
-size_t GroupLevelSet::IntersectTouched(const ActivityVector& v,
-                                       EvalScratch* scratch) const {
-  scratch->cand.clear();
-  scratch->pos.clear();
-  scratch->cstart.clear();
-  scratch->cheight.clear();
+void GroupLevelSet::BuildPlan(const ActivityVector& v, EvalScratch* scratch,
+                              EvalPlan* plan) const {
   const auto& widx = v.word_indices();
   const auto& wbits = v.word_bits();
-  size_t outside_pop = 0;
+  const size_t W = widx.size();
+  const size_t L = pops_.size();
+
+  // One capacity reservation covers every Alloc of this candidate's cycle
+  // (temporaries, sorted arrays, and the worst-case lazily gathered rows —
+  // bounded by the whole column arena), so spans handed out below are
+  // never invalidated by growth.
+  EvalArena& arena = scratch->arena;
+  arena.Reset();
+  arena.Reserve(4 * W + 2 * (L + 2) + arena_.size() + 16);
+
+  // Pass 1: two-pointer merge of the candidate's nonzero words with the
+  // touched index, in word order. Matches stage their (height, start,
+  // word) triples; misses stage their words for one fused span popcount.
+  uint32_t* tmp_h = arena.Alloc<uint32_t>(W);
+  uint32_t* tmp_start = arena.Alloc<uint32_t>(W);
+  uint64_t* tmp_cw = arena.Alloc<uint64_t>(W);
+  uint64_t* outside = arena.Alloc<uint64_t>(W);
+  uint32_t n = 0;
+  uint32_t n_out = 0;
+  uint32_t maxh = 0;
   size_t i = 0;
-  for (size_t j = 0; j < widx.size(); ++j) {
+  for (size_t j = 0; j < W; ++j) {
     while (i < touched_.size() && touched_[i] < widx[j]) ++i;
     if (i < touched_.size() && touched_[i] == widx[j]) {
-      scratch->cand.push_back(static_cast<uint32_t>(j));
-      scratch->pos.push_back(static_cast<uint32_t>(i));
-      scratch->cstart.push_back(col_start_[i]);
-      scratch->cheight.push_back(col_start_[i + 1] - col_start_[i]);
+      uint32_t h = col_start_[i + 1] - col_start_[i];
+      tmp_h[n] = h;
+      tmp_start[n] = col_start_[i];
+      tmp_cw[n] = wbits[j];
+      if (h > maxh) maxh = h;
+      ++n;
     } else {
-      outside_pop += Pop(wbits[j]);
+      outside[n_out++] = wbits[j];
     }
   }
-  return outside_pop;
+  plan->n = n;
+  plan->maxh = maxh;
+  plan->outside_pop = simd::SpanPopcount(outside, n_out);
+
+  // Pass 2: counting sort by height, descending, stable over word order.
+  // cnt[m] = #columns with height >= m doubles as both the sort offsets
+  // and the per-level prefix lengths the eval loop needs.
+  uint32_t* cnt = arena.Alloc<uint32_t>(maxh + 2);
+  std::memset(cnt, 0, (maxh + 2) * sizeof(uint32_t));
+  for (uint32_t k = 0; k < n; ++k) ++cnt[tmp_h[k]];
+  // Suffix-sum the histogram: after this, cnt[m] counts h >= m.
+  for (size_t m = maxh + 1; m-- > 0;) cnt[m] += cnt[m + 1];
+  uint32_t* off = arena.Alloc<uint32_t>(maxh + 1);
+  for (size_t m = 0; m <= maxh; ++m) off[m] = cnt[m + 1];
+  uint64_t* cw = arena.Alloc<uint64_t>(n);
+  uint32_t* cstart = arena.Alloc<uint32_t>(n);
+  for (uint32_t k = 0; k < n; ++k) {
+    uint32_t p = off[tmp_h[k]]++;
+    cw[p] = tmp_cw[k];
+    cstart[p] = tmp_start[k];
+  }
+  plan->cw = cw;
+  plan->cstart = cstart;
+  plan->cnt = cnt;
+  plan->rows = arena.Alloc<uint64_t*>(maxh + 1);
+  std::memset(plan->rows, 0, (maxh + 1) * sizeof(uint64_t*));
 }
 
 void GroupLevelSet::SpliceColumns(const std::vector<uint32_t>& cand_pos,
@@ -153,17 +241,21 @@ void GroupLevelSet::Add(const ActivityVector& v) {
     uint32_t h = col_start_[cand_pos[j] + 1] - s;
     uint64_t cw = wbits[j];
     new_first[j] = static_cast<uint32_t>(new_words.size());
-    for (uint32_t m = 1; m <= h; ++m) {
-      uint64_t old_word = arena_[s + m - 1];
+    new_words.resize(new_first[j] + h);
+    const uint64_t* col = arena_.data() + s;
+    uint64_t* out = new_words.data() + new_first[j];
+    if (h >= 1) {
       // L_0 is conceptually all-ones, so at m == 1 the join term is C.
-      uint64_t below = m >= 2 ? arena_[s + m - 2] : ~uint64_t{0};
-      uint64_t new_word = old_word | (below & cw);
-      if (new_word != old_word) delta[m - 1] += Pop(new_word) - Pop(old_word);
-      new_words.push_back(new_word);
+      uint64_t lifted = cw & ~col[0];
+      out[0] = col[0] | lifted;
+      delta[0] += Pop(lifted);
+      // Levels 2..h have below = col[m - 2], a contiguous column span.
+      simd::OrAndBcastStoreDelta(col + 1, col, cw, out + 1, delta.data() + 1,
+                                 h - 1);
     }
     // The possibly-new top word: old-top AND candidate (for a height-zero
     // column the candidate lifts level 1 directly).
-    uint64_t top = h >= 1 ? (arena_[s + h - 1] & cw) : cw;
+    uint64_t top = h >= 1 ? col[h - 1] & cw : cw;
     if (top != 0) {
       delta[h] += Pop(top);
       new_words.push_back(top);
@@ -212,15 +304,20 @@ Status GroupLevelSet::Remove(const ActivityVector& v) {
     uint32_t h = col_start_[cand_pos[j] + 1] - s;
     uint64_t cw = wbits[j];
     new_first[j] = static_cast<uint32_t>(new_words.size());
-    uint32_t nh = 0;
-    for (uint32_t m = 1; m <= h; ++m) {
-      uint64_t old_word = arena_[s + m - 1];
-      uint64_t above = m < h ? arena_[s + m] : 0;
-      uint64_t new_word = old_word & (~cw | above);
-      if (new_word != old_word) delta[m - 1] += Pop(old_word) - Pop(new_word);
-      new_words.push_back(new_word);
-      if (new_word != 0) nh = m;
+    new_words.resize(new_first[j] + h);
+    const uint64_t* col = arena_.data() + s;
+    uint64_t* out = new_words.data() + new_first[j];
+    if (h >= 1) {
+      // Levels 1..h-1 have above = col[m], a contiguous column span; the
+      // top level's above is zero.
+      simd::AndNotBcastStoreDelta(col, col + 1, cw, out, delta.data(), h - 1);
+      uint64_t dropped = col[h - 1] & cw;
+      out[h - 1] = col[h - 1] & ~dropped;
+      delta[h - 1] += Pop(dropped);
     }
+    // Levels stay nested, so the new column is still a nonzero prefix.
+    uint32_t nh = h;
+    while (nh > 0 && out[nh - 1] == 0) --nh;
     new_words.resize(new_first[j] + nh);  // trim the zero tail
     new_heights[j] = nh;
   }
@@ -273,75 +370,59 @@ std::vector<size_t> GroupLevelSet::EvaluateAdd(const ActivityVector& v) const {
   return std::move(scratch.pops);
 }
 
-void GroupLevelSet::EvaluateAddInto(const ActivityVector& v,
-                                    EvalScratch* scratch) const {
-  assert(v.num_epochs() == num_epochs_);
-  const auto& wbits = v.word_bits();
-  size_t outside_pop = IntersectTouched(v, scratch);
-  size_t num_levels = pops_.size();
-  scratch->pops.assign(num_levels + 1, 0);
-  for (size_t m = 1; m <= num_levels + 1; ++m) {
-    size_t base = m <= num_levels ? pops_[m - 1] : 0;
-    // Words outside the touched index have zero count, so the candidate
-    // lifts them straight into level 1 and nowhere else.
-    size_t delta = m == 1 ? outside_pop : 0;
-    for (size_t k = 0; k < scratch->cand.size(); ++k) {
-      uint32_t h = scratch->cheight[k];
-      // Columns shorter than m - 1 contribute nothing at level m.
-      if (h + 1 < m) continue;
-      uint64_t cw = wbits[scratch->cand[k]];
-      uint32_t s = scratch->cstart[k];
-      uint64_t old_word = m <= h ? arena_[s + m - 1] : 0;
-      // L_0 is all-ones, so at m == 1 the joining term is C itself.
-      uint64_t below = m >= 2 ? (m - 1 <= h ? arena_[s + m - 2] : 0)
-                              : ~uint64_t{0};
-      uint64_t new_word = old_word | (below & cw);
-      if (new_word != old_word) delta += Pop(new_word) - Pop(old_word);
-    }
-    scratch->pops[m - 1] = base + delta;
-  }
-  // Drop an empty would-be top level so MaxActive stays meaningful.
-  if (scratch->pops.back() == 0) scratch->pops.pop_back();
-}
-
-int GroupLevelSet::EvaluateAddCompare(const ActivityVector& v,
-                                      const std::vector<size_t>& incumbent,
-                                      EvalScratch* scratch) const {
-  assert(v.num_epochs() == num_epochs_);
-  assert(!incumbent.empty());
-  assert(incumbent.size() <= pops_.size() + 1);
-  const auto& wbits = v.word_bits();
-  size_t outside_pop = IntersectTouched(v, scratch);
-  size_t num_levels = pops_.size();
+int GroupLevelSet::EvalCore(const ActivityVector& v,
+                            const std::vector<size_t>* incumbent,
+                            EvalScratch* scratch) const {
+  EvalPlan plan;
+  BuildPlan(v, scratch, &plan);
+  const size_t num_levels = pops_.size();
   scratch->pops.assign(num_levels + 1, 0);
   // Levels are independent of each other, so they can be computed top-down,
   // in exactly the order the Fig 5.3 comparison consumes them: the exact
   // count at level m is at_least(m) - at_least(m+1). The first strictly
   // differing level decides, which is what makes abandoning a losing
   // candidate early (`return 1` below) outcome-identical to the full
-  // EvaluateAdd + CompareCandidateLevels.
+  // EvaluateAdd + CompareCandidateLevels. Each level's body runs as span
+  // kernels over the height-sorted prefix: columns with a stored word at
+  // level m contribute pop(L_m | (L_{m-1} & C)) − pop(L_m), columns whose
+  // top is exactly level m-1 contribute pop(L_{m-1} & C), and shorter
+  // columns contribute nothing. Working top-down also means each gathered
+  // row is built at most once (level m reuses level m+1's `below` row).
   size_t above = 0;  // at_least(m + 1), from the previous iteration
   int winner = 0;
   for (size_t m = num_levels + 1; m >= 1; --m) {
     size_t base = m <= num_levels ? pops_[m - 1] : 0;
-    size_t delta = m == 1 ? outside_pop : 0;
-    for (size_t k = 0; k < scratch->cand.size(); ++k) {
-      uint32_t h = scratch->cheight[k];
-      if (h + 1 < m) continue;
-      uint64_t cw = wbits[scratch->cand[k]];
-      uint32_t s = scratch->cstart[k];
-      uint64_t old_word = m <= h ? arena_[s + m - 1] : 0;
-      uint64_t below = m >= 2 ? (m - 1 <= h ? arena_[s + m - 2] : 0)
-                              : ~uint64_t{0};
-      uint64_t new_word = old_word | (below & cw);
-      if (new_word != old_word) delta += Pop(new_word) - Pop(old_word);
+    size_t delta;
+    if (m == 1) {
+      // L_0 is all-ones, so the joining term is C itself. Words outside
+      // the touched index have zero count, so the candidate lifts them
+      // straight into level 1 and nowhere else.
+      const uint32_t n1 = plan.CntAt(1);
+      delta = plan.outside_pop;
+      if (n1 > 0) {
+        delta += simd::OrPopcountDelta(plan.Row(1, arena_, &scratch->arena),
+                                       plan.cw, n1);
+      }
+      delta += simd::SpanPopcount(plan.cw + n1, plan.n - n1);
+    } else {
+      const uint32_t nm = plan.CntAt(m);
+      const uint32_t nm1 = plan.CntAt(m - 1);
+      delta = 0;
+      if (nm1 > 0) {
+        const uint64_t* below = plan.Row(m - 1, arena_, &scratch->arena);
+        if (nm > 0) {
+          delta += simd::OrAndPopcountDelta(
+              plan.Row(m, arena_, &scratch->arena), below, plan.cw, nm);
+        }
+        delta += simd::AndPopcount(below + nm, plan.cw + nm, nm1 - nm);
+      }
     }
     size_t at_least = base + delta;
     scratch->pops[m - 1] = at_least;
-    if (winner == 0) {
+    if (incumbent != nullptr && winner == 0) {
       size_t exact = at_least - above;
-      size_t inc_m = m <= incumbent.size() ? incumbent[m - 1] : 0;
-      size_t inc_m1 = m < incumbent.size() ? incumbent[m] : 0;
+      size_t inc_m = m <= incumbent->size() ? (*incumbent)[m - 1] : 0;
+      size_t inc_m1 = m < incumbent->size() ? (*incumbent)[m] : 0;
       size_t inc_exact = inc_m - inc_m1;
       if (exact < inc_exact) {
         winner = -1;  // already won; keep filling pops for the caller
@@ -351,8 +432,24 @@ int GroupLevelSet::EvaluateAddCompare(const ActivityVector& v,
     }
     above = at_least;
   }
+  // Drop an empty would-be top level so MaxActive stays meaningful.
   if (scratch->pops.back() == 0) scratch->pops.pop_back();
   return winner;
+}
+
+void GroupLevelSet::EvaluateAddInto(const ActivityVector& v,
+                                    EvalScratch* scratch) const {
+  assert(v.num_epochs() == num_epochs_);
+  EvalCore(v, nullptr, scratch);
+}
+
+int GroupLevelSet::EvaluateAddCompare(const ActivityVector& v,
+                                      const std::vector<size_t>& incumbent,
+                                      EvalScratch* scratch) const {
+  assert(v.num_epochs() == num_epochs_);
+  assert(!incumbent.empty());
+  assert(incumbent.size() <= pops_.size() + 1);
+  return EvalCore(v, &incumbent, scratch);
 }
 
 double GroupLevelSet::TtpFromPopcounts(

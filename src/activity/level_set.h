@@ -44,6 +44,7 @@
 
 #include "activity/activity_vector.h"
 #include "common/bitmap.h"
+#include "common/simd.h"
 #include "common/status.h"
 
 namespace thrifty {
@@ -83,20 +84,18 @@ class GroupLevelSet {
   std::vector<double> ExactLevelFractions() const;
 
   /// \brief Reusable scratch state for allocation-free candidate
-  /// evaluation: the would-be popcount vector plus the candidate/touched
-  /// intersection arrays. One instance per scanning thread; reuse across
-  /// candidates to keep the argmin inner loop heap-allocation free.
+  /// evaluation: the would-be popcount vector plus a bump-pointer arena
+  /// holding the per-candidate evaluation plan (the candidate/touched
+  /// intersection in height-sorted order and the lazily gathered level
+  /// rows the SIMD kernels consume — see EvalCore in level_set.cc). One
+  /// instance per scanning thread; the arena is Reset() per candidate and
+  /// retains its block, so the argmin inner loop performs no heap
+  /// allocation and its working set stays cache-resident.
   struct EvalScratch {
     /// Would-be level popcounts, in the EvaluateAdd layout.
     std::vector<size_t> pops;
-    /// Candidate word positions with a matching touched word.
-    std::vector<uint32_t> cand;
-    /// Touched-index positions, parallel to `cand`.
-    std::vector<uint32_t> pos;
-    /// Arena start of each matched column, parallel to `cand`.
-    std::vector<uint32_t> cstart;
-    /// Stored (nonzero-prefix) height of each matched column.
-    std::vector<uint32_t> cheight;
+    /// Backing store for the evaluation plan, reset per candidate.
+    EvalArena arena;
   };
 
   /// \brief Evaluates adding `v` without mutating the group.
@@ -153,10 +152,29 @@ class GroupLevelSet {
   void MergeTouched(const std::vector<uint32_t>& widx,
                     std::vector<uint32_t>* cand_pos);
 
-  /// Fills scratch->cand/pos/cstart/cheight with the candidate/touched
-  /// intersection and returns the popcount of the candidate words outside
-  /// the touched index (those can only contribute to level 1).
-  size_t IntersectTouched(const ActivityVector& v, EvalScratch* scratch) const;
+  /// The per-candidate evaluation plan: the candidate/touched column
+  /// intersection sorted by stored height (descending), so each level's
+  /// participating columns form a prefix, plus the lazily gathered
+  /// contiguous level rows the SIMD kernels run over. All arrays live in
+  /// the scratch arena. Defined in level_set.cc.
+  struct EvalPlan;
+
+  /// Builds `plan` for evaluating `v` against this group (intersects the
+  /// candidate's nonzero words with the touched index, counting-sorts the
+  /// matches by column height, and popcounts the words outside the index
+  /// — those can only contribute to level 1).
+  void BuildPlan(const ActivityVector& v, EvalScratch* scratch,
+                 EvalPlan* plan) const;
+
+  /// Shared body of EvaluateAddInto / EvaluateAddCompare: computes the
+  /// would-be level popcounts top-down into scratch->pops (level rows
+  /// gathered lazily, bodies run through the simd:: kernels). With a
+  /// non-null `incumbent` it additionally compares exact-level counts
+  /// under the Fig 5.3 total order, returning +1 as soon as a level is
+  /// strictly worse (pops left incomplete) and -1/0 otherwise; with a null
+  /// incumbent it returns 0 and always completes pops.
+  int EvalCore(const ActivityVector& v, const std::vector<size_t>* incumbent,
+               EvalScratch* scratch) const;
 
   /// Rewrites the candidate columns listed in `cand_pos` (sorted) with the
   /// ragged new columns in `new_words` (`new_first[j]`/`new_heights[j]`

@@ -1,21 +1,18 @@
 #include "common/bitmap.h"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
+
+#include "common/simd.h"
 
 namespace thrifty {
 
 size_t PopcountWords(const uint64_t* words, size_t count) {
-  size_t total = 0;
-  for (size_t w = 0; w < count; ++w) total += std::popcount(words[w]);
-  return total;
+  return simd::SpanPopcount(words, count);
 }
 
 size_t AndPopcountWords(const uint64_t* a, const uint64_t* b, size_t count) {
-  size_t total = 0;
-  for (size_t w = 0; w < count; ++w) total += std::popcount(a[w] & b[w]);
-  return total;
+  return simd::AndPopcount(a, b, count);
 }
 
 void DynamicBitmap::SetRange(size_t begin, size_t end) {
@@ -43,9 +40,13 @@ size_t DynamicBitmap::AndPopcount(const DynamicBitmap& other) const {
   return AndPopcountWords(words_.data(), other.words_.data(), words_.size());
 }
 
-void DynamicBitmap::OrWith(const DynamicBitmap& other) {
-  assert(num_bits_ == other.num_bits_);
-  for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+bool DynamicBitmap::OrWith(const DynamicBitmap& other) {
+  if (other.num_bits_ > num_bits_) {
+    num_bits_ = other.num_bits_;
+    words_.resize(other.words_.size(), 0);
+  }
+  return simd::OrReduce(words_.data(), other.words_.data(),
+                        other.words_.size()) != 0;
 }
 
 bool DynamicBitmap::None() const {

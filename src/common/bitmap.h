@@ -48,8 +48,13 @@ class DynamicBitmap {
   /// \brief Number of set bits in common with `other` (same size required).
   size_t AndPopcount(const DynamicBitmap& other) const;
 
-  /// \brief ORs `other` into this bitmap (same size required).
-  void OrWith(const DynamicBitmap& other);
+  /// \brief ORs `other` into this bitmap. Mismatched sizes grow this bitmap
+  /// to the larger of the two (a shorter `other` ORs into the prefix; a
+  /// longer one extends this bitmap with zero bits first, so no set bit is
+  /// ever truncated). Returns true iff any bit is set afterwards — the
+  /// OR-reduction comes for free from the word scan, saving callers a
+  /// separate None() pass.
+  bool OrWith(const DynamicBitmap& other);
 
   /// \brief True if no bit is set.
   bool None() const;

@@ -10,6 +10,7 @@
 
 #include "activity/streamed_epochizer.h"
 #include "common/bitmap.h"
+#include "common/simd.h"
 
 namespace thrifty {
 
@@ -104,12 +105,22 @@ double ConditionalActiveTenantRatio(const std::vector<TenantLog>& logs,
   // tenants' words, so only one bit per epoch is ever materialized.
   DynamicBitmap busy_epochs(epochs.NumEpochs());
   uint64_t total = 0;
+  std::vector<uint32_t> word_idx;
+  std::vector<uint64_t> word_bits;
   for (const auto& log : logs) {
+    // Buffer the streamed words per tenant so the per-tenant popcount runs
+    // as one span kernel instead of word-at-a-time in the callback.
+    word_idx.clear();
+    word_bits.clear();
     ForEachActivityWord(log.ActivityIntervals(), epochs,
                         [&](uint32_t index, uint64_t bits) {
-                          busy_epochs.mutable_word(index) |= bits;
-                          total += static_cast<uint64_t>(std::popcount(bits));
+                          word_idx.push_back(index);
+                          word_bits.push_back(bits);
                         });
+    total += simd::SpanPopcount(word_bits.data(), word_bits.size());
+    for (size_t i = 0; i < word_idx.size(); ++i) {
+      busy_epochs.mutable_word(word_idx[i]) |= word_bits[i];
+    }
   }
   size_t busy = busy_epochs.Popcount();
   if (busy == 0) return 0;

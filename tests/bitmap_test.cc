@@ -79,8 +79,55 @@ TEST(BitmapTest, OrWith) {
   DynamicBitmap a(128), b(128);
   a.SetRange(0, 10);
   b.SetRange(5, 20);
-  a.OrWith(b);
+  EXPECT_TRUE(a.OrWith(b));
   EXPECT_EQ(a.Popcount(), 20u);
+}
+
+TEST(BitmapTest, OrWithReturnsWhetherAnyBitIsSet) {
+  DynamicBitmap a(128), b(128);
+  EXPECT_FALSE(a.OrWith(b));  // both empty
+  b.Set(100);
+  EXPECT_TRUE(a.OrWith(b));
+  DynamicBitmap c(128);
+  // `a` already has bits even though `c` is empty.
+  EXPECT_TRUE(a.OrWith(c));
+}
+
+TEST(BitmapTest, OrWithGrowsToLargerOperand) {
+  DynamicBitmap a(64), b(200);
+  a.Set(3);
+  b.Set(199);
+  EXPECT_TRUE(a.OrWith(b));
+  EXPECT_EQ(a.num_bits(), 200u);
+  EXPECT_TRUE(a.Get(3));
+  EXPECT_TRUE(a.Get(199));
+  EXPECT_EQ(a.Popcount(), 2u);
+}
+
+TEST(BitmapTest, OrWithShorterOperandOrsIntoPrefix) {
+  DynamicBitmap a(200), b(64);
+  a.Set(199);
+  b.Set(3);
+  EXPECT_TRUE(a.OrWith(b));
+  EXPECT_EQ(a.num_bits(), 200u);  // unchanged: this side is the larger one
+  EXPECT_TRUE(a.Get(3));
+  EXPECT_TRUE(a.Get(199));
+}
+
+TEST(BitmapTest, OrWithGrowExtendsWithZeroBits) {
+  DynamicBitmap a(10);
+  a.SetRange(0, 10);
+  DynamicBitmap b(500);  // empty, just longer
+  EXPECT_TRUE(a.OrWith(b));
+  EXPECT_EQ(a.num_bits(), 500u);
+  EXPECT_EQ(a.Popcount(), 10u);
+  for (size_t i = 10; i < 500; ++i) EXPECT_FALSE(a.Get(i));
+}
+
+TEST(BitmapTest, OrWithEmptyBothSidesStaysEmpty) {
+  DynamicBitmap a, b;
+  EXPECT_FALSE(a.OrWith(b));
+  EXPECT_EQ(a.num_bits(), 0u);
 }
 
 TEST(BitmapTest, NonzeroWordIndices) {
