@@ -27,7 +27,8 @@ struct ExactSolverOptions {
   /// breadth-first frontier of assignment prefixes) are searched in
   /// parallel against a shared incumbent bound. The returned solution is
   /// identical for every value: equal-cost incumbents are resolved by
-  /// canonical subtree order, not completion order. 1 = the serial search.
+  /// canonical subtree order, not completion order. Values < 1 clamp to 1,
+  /// the serial search, matching the TwoStepOptions contract.
   int solver_jobs = 1;
 };
 

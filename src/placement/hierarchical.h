@@ -1,0 +1,156 @@
+// Hierarchical shard -> solve -> merge placement: the two-step solver at
+// 10^5-10^6 tenants.
+//
+// The flat two-step heuristic (placement/two_step.h) scans every remaining
+// candidate per group-grow step, so one solve is ~quadratic in the tenants
+// of a size class — fine at the paper's thousands of tenants, hopeless at a
+// million. SolveHierarchical restores near-linear scaling with the standard
+// partition-then-central-merge shape:
+//
+//   1. *Shard*: tenants are clustered by a coarse, deterministic activity
+//      fingerprint — per-band popcounts of the ActivityVector's epoch words
+//      (computed with the simd:: span-popcount kernels), quantized to a
+//      128-bit signature — so tenants with overlapping active phases land
+//      in the same shard, then the signature-sorted order is chopped into
+//      logical shards of ~shard_tenant_target tenants.
+//   2. *Solve*: each shard is an independent LIVBPwFC sub-instance solved
+//      with the existing SolveTwoStep core; shards fan across workers via
+//      ParallelFor (shard_jobs), each composing with the intra-shard
+//      candidate-argmin sharding (solver_jobs).
+//   3. *Merge*: sharding leaves each shard's last group per size class
+//      under-filled (the boundary waste the flat solver would not have). A
+//      central pass re-opens exactly the groups whose fill is below
+//      merge_fill_threshold of their class's fullest group, pools their
+//      members together with a few least-populated *absorber* groups, and
+//      re-solves those small deltas with SolveTwoStep warm-seeded on the
+//      absorbers (the repair machinery keeps the absorber seeds open so
+//      pooled tenants merge into spare capacity instead of fragmenting).
+//      Merge solves are chunked at ~shard_tenant_target pooled tenants and
+//      fanned over the same workers, so the pass never re-creates the
+//      quadratic central solve it exists to avoid.
+//
+// Determinism contract: the logical shard partition is a pure function of
+// the tenant set (ids + activity + shard_tenant_target/signature_bands) —
+// never of num_shards, shard_jobs, or solver_jobs, which only change how
+// the same per-shard solves are batched across threads. Group output order
+// is canonical (size class descending, then shard-major, then the merge
+// pass's groups), and the merge pass is a function of the per-shard plans
+// alone, so the returned plan is byte-identical at any
+// num_shards x shard_jobs x solver_jobs. tests/hierarchical_test.cc locks
+// this, and bench_scale_sweep records the fingerprints.
+
+#ifndef THRIFTY_PLACEMENT_HIERARCHICAL_H_
+#define THRIFTY_PLACEMENT_HIERARCHICAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "placement/problem.h"
+
+namespace thrifty {
+
+/// \brief Execution knobs of the hierarchical solver. All parallelism
+/// knobs are output-invariant; only shard_tenant_target / signature_bands /
+/// merge_* change the plan (they define the logical partition and the merge
+/// rule, both pure functions of the tenant set).
+struct HierarchicalOptions {
+  /// Execution-batching hint: the logical shards are processed as
+  /// min(num_shards, #logical shards) parallel tasks, each draining a
+  /// contiguous run of shards in shard order. 0 (and any value >= the
+  /// logical shard count) = one task per shard. The *logical* partition is
+  /// computed from the tenant set alone, so this knob can never change the
+  /// plan — it exists to bound task-queue pressure and per-task scratch
+  /// residency when a million-tenant solve produces hundreds of shards.
+  int num_shards = 0;
+  /// Worker threads fanning the shard solves (values < 1 clamp to 1, the
+  /// serial path). Composes multiplicatively with solver_jobs.
+  int shard_jobs = 1;
+  /// TwoStepOptions::solver_jobs for every per-shard solve and the merge
+  /// solve (values < 1 clamp to 1; see the TwoStepOptions contract).
+  int solver_jobs = 1;
+  /// Target tenants per logical shard; the tenant count is chopped into
+  /// ceil(n / shard_tenant_target) equal shards (values < 1 clamp to 1).
+  /// Larger shards approach flat-solve effectiveness at flat-solve cost;
+  /// the default keeps a shard solve in the low seconds while the merge
+  /// pass recovers the boundary waste.
+  size_t shard_tenant_target = 2048;
+  /// A group re-opens for the merge pass when its tenant count is below
+  /// this fraction of its size class's fullest group (0 disables merging;
+  /// values > 1 re-open everything up to the fullest group). Re-opened
+  /// groups are re-solved in merge *chunks* of ~shard_tenant_target pooled
+  /// tenants, so the central pass stays near-linear at any shard count.
+  double merge_fill_threshold = 0.7;
+  /// Least-populated kept groups dealt to *each* merge chunk as
+  /// warm-seeded absorbers, so pooled boundary tenants can join groups with
+  /// spare fuzzy capacity (each absorber is consumed by exactly one chunk).
+  int merge_absorbers_per_class = 4;
+  /// Bands of the activity signature (values < 1 clamp to 1; capped at 32
+  /// so the signature stays a 128-bit sort key of 4-bit band quantiles).
+  size_t signature_bands = 32;
+};
+
+/// \brief Phase accounting of one hierarchical solve.
+struct HierarchicalStats {
+  size_t num_logical_shards = 0;
+  size_t min_shard_tenants = 0;
+  size_t max_shard_tenants = 0;
+  /// Groups produced by the per-shard solves, before merging.
+  size_t groups_before_merge = 0;
+  /// Under-filled groups dissolved into the merge pool.
+  size_t groups_reopened = 0;
+  /// Kept groups re-opened as warm absorber seeds.
+  size_t absorbers_opened = 0;
+  /// Tenants pooled into the central merge solve (re-opened + absorbers).
+  size_t merge_pool_tenants = 0;
+  double signature_seconds = 0;
+  double shard_solve_seconds = 0;
+  double merge_seconds = 0;
+};
+
+/// \brief Coarse 128-bit activity signature: the horizon is split into up
+/// to 32 bands and each band's active-epoch popcount is quantized to 4 bits
+/// against the tenant's fullest band. Tenants with the same active phase
+/// (e.g. the same office-hour time zone) share a signature prefix, so
+/// sorting by signature clusters overlapping tenants.
+struct ActivitySignature {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const ActivitySignature& a,
+                         const ActivitySignature& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator<(const ActivitySignature& a,
+                        const ActivitySignature& b) {
+    if (a.hi != b.hi) return a.hi < b.hi;
+    return a.lo < b.lo;
+  }
+};
+
+/// \brief Computes the banded signature of one activity vector. Pure and
+/// deterministic; an all-zero vector maps to the all-zero signature.
+ActivitySignature ComputeActivitySignature(const ActivityVector& v,
+                                           size_t bands);
+
+/// \brief The logical shard partition: item indices of `problem`, grouped
+/// by shard in solve order. A pure function of the tenant set and the two
+/// partition knobs (shard_tenant_target, signature_bands) — permuting
+/// problem.items or changing any parallelism knob yields the same tenant
+/// partition. Exposed for tests and diagnostics.
+std::vector<std::vector<size_t>> ComputeShardPartition(
+    const PackingProblem& problem, const HierarchicalOptions& options);
+
+/// \brief Solves the problem hierarchically (shard -> solve -> merge).
+///
+/// The returned solution passes VerifySolution and is byte-identical for
+/// any num_shards/shard_jobs/solver_jobs. `stats`, when non-null, receives
+/// phase accounting.
+Result<GroupingSolution> SolveHierarchical(
+    const PackingProblem& problem,
+    const HierarchicalOptions& options = HierarchicalOptions(),
+    HierarchicalStats* stats = nullptr);
+
+}  // namespace thrifty
+
+#endif  // THRIFTY_PLACEMENT_HIERARCHICAL_H_

@@ -396,9 +396,12 @@ Result<GroupingSolution> SolveTwoStep(const PackingProblem& problem,
     if (it != seeds_by_size.end()) seeds[g] = &it->second;
   }
 
+  // Documented clamp: solver_jobs < 1 is the serial path, same as 1, so
+  // callers deriving job counts never need their own validation.
   std::unique_ptr<ThreadPool> pool;
-  if (options.solver_jobs > 1) {
-    pool = std::make_unique<ThreadPool>(options.solver_jobs - 1);
+  const int solver_jobs = std::max(1, options.solver_jobs);
+  if (solver_jobs > 1) {
+    pool = std::make_unique<ThreadPool>(solver_jobs - 1);
   }
 
   // Node-size initial groups are independent: solve them as parallel tasks

@@ -39,7 +39,9 @@ struct TwoStepOptions {
   /// parallel tasks. The grouping is bit-identical for every value — the
   /// Fig 5.3 criterion plus the tenant-id tie-break is a strict total
   /// order, and shard winners are merged in canonical shard order — so
-  /// solver_jobs only changes wall-clock time. 1 = the serial code path.
+  /// solver_jobs only changes wall-clock time. Values < 1 (0, negatives)
+  /// clamp to 1, the serial code path, so wrappers deriving a job count
+  /// (HierarchicalOptions, sweep configs) can pass it through unchecked.
   int solver_jobs = 1;
   /// Optional seed grouping from a neighbouring sweep point (non-owning;
   /// must outlive the solve). Each seed group is re-validated against

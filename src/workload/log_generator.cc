@@ -63,21 +63,23 @@ LogComposer::LogComposer(const SessionLibrary* library,
 
 namespace {
 
-// Composition core shared by Compose and ComposeActivity: makes every
-// sampling decision of §7.1 Step 2 and reports each placed session via
-// `visit(spec, session_start, session)`. The two entry points differ only
-// in what they do with a placed session.
+// Composition core shared by Compose, ComposeActivity, and
+// ComposeActivityVectors: makes every sampling decision of §7.1 Step 2,
+// reports each placed session via `visit(spec, session_start, session)`,
+// and calls `finish(spec)` once all of a tenant's sessions are placed. The
+// entry points differ only in what they do with a placed session.
 //
 // Every tenant samples from its own Rng stream (forked by tenant id), so
 // tenant composition is sharded across `pool` when one is given: `visit`
-// may then run concurrently for *distinct* tenants and must only touch
-// per-tenant state; calls for one tenant stay in session order on one
-// thread, so the composed output is byte-identical for any job count.
-template <typename Visitor>
+// and `finish` may then run concurrently for *distinct* tenants and must
+// only touch per-tenant state; calls for one tenant stay in session order
+// on one thread (with `finish` last), so the composed output is
+// byte-identical for any job count.
+template <typename Visitor, typename Finisher>
 Status ForEachSession(const SessionLibrary& library,
                       const LogComposerOptions& options,
                       std::vector<TenantSpec>* tenants, Rng* rng,
-                      ThreadPool* pool, Visitor&& visit) {
+                      ThreadPool* pool, Visitor&& visit, Finisher&& finish) {
   if (options.offset_hours.empty()) {
     return Status::InvalidArgument("offset_hours must not be empty");
   }
@@ -137,6 +139,7 @@ Status ForEachSession(const SessionLibrary& library,
         visit(spec, session_start, *session);
       }
     }
+    finish(spec);
     return Status::OK();
   };
 
@@ -148,6 +151,61 @@ Status ForEachSession(const SessionLibrary& library,
     THRIFTY_RETURN_NOT_OK(status);
   }
   return Status::OK();
+}
+
+template <typename Visitor>
+Status ForEachSession(const SessionLibrary& library,
+                      const LogComposerOptions& options,
+                      std::vector<TenantSpec>* tenants, Rng* rng,
+                      ThreadPool* pool, Visitor&& visit) {
+  return ForEachSession(library, options, tenants, rng, pool,
+                        std::forward<Visitor>(visit),
+                        [](const TenantSpec&) {});
+}
+
+// Session activity intervals are expensive to recompute (union over
+// hundreds of entries); precompute one normalized set per library log.
+// Eagerly over the whole library — a lazily filled cache would be shared
+// mutable state across tenants, which tenant sharding cannot tolerate.
+struct SessionActivityCache {
+  std::vector<IntervalSet> sets;
+  std::unordered_map<const TenantLog*, const IntervalSet*> by_session;
+};
+
+SessionActivityCache BuildSessionActivityCache(const SessionLibrary& library,
+                                               ThreadPool* pool) {
+  SessionActivityCache cache;
+  std::vector<const TenantLog*> sessions;
+  for (int nodes : library.node_sizes()) {
+    for (QuerySuite suite : {QuerySuite::kTpch, QuerySuite::kTpcds}) {
+      auto pool_result = library.SessionsFor(nodes, suite);
+      if (!pool_result.ok()) continue;
+      for (const TenantLog& session : **pool_result) {
+        sessions.push_back(&session);
+      }
+    }
+  }
+  cache.sets.resize(sessions.size());
+  ParallelFor(pool, sessions.size(), [&](size_t i) {
+    cache.sets[i] = sessions[i]->ActivityIntervals();
+  });
+  cache.by_session.reserve(sessions.size());
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    cache.by_session.emplace(sessions[i], &cache.sets[i]);
+  }
+  return cache;
+}
+
+// Appends one placed session's activity to a tenant's interval set,
+// clipping at the horizon.
+void AppendSessionActivity(const IntervalSet& session_activity,
+                           SimTime session_start, SimTime horizon,
+                           IntervalSet* out) {
+  for (const auto& iv : session_activity.intervals()) {
+    SimTime begin = session_start + iv.begin;
+    if (begin >= horizon) break;
+    out->Add(begin, std::min(horizon, session_start + iv.end));
+  }
 }
 
 /// The composition pool, or null for the sequential path.
@@ -197,30 +255,8 @@ Result<std::vector<IntervalSet>> LogComposer::ComposeActivity(
   const SimTime horizon = horizon_end();
   std::unique_ptr<ThreadPool> pool =
       MakeComposerPool(options_, tenants->size());
-
-  // Session activity intervals are expensive to recompute (union over
-  // hundreds of entries); precompute one normalized set per library log.
-  // Eagerly over the whole library — a lazily filled cache was shared
-  // mutable state across tenants, which tenant sharding cannot tolerate.
-  std::vector<const TenantLog*> sessions;
-  for (int nodes : library_->node_sizes()) {
-    for (QuerySuite suite : {QuerySuite::kTpch, QuerySuite::kTpcds}) {
-      auto pool_result = library_->SessionsFor(nodes, suite);
-      if (!pool_result.ok()) continue;
-      for (const TenantLog& session : **pool_result) {
-        sessions.push_back(&session);
-      }
-    }
-  }
-  std::vector<IntervalSet> session_sets(sessions.size());
-  ParallelFor(pool.get(), sessions.size(), [&](size_t i) {
-    session_sets[i] = sessions[i]->ActivityIntervals();
-  });
-  std::unordered_map<const TenantLog*, const IntervalSet*> session_activity;
-  session_activity.reserve(sessions.size());
-  for (size_t i = 0; i < sessions.size(); ++i) {
-    session_activity.emplace(sessions[i], &session_sets[i]);
-  }
+  const SessionActivityCache cache =
+      BuildSessionActivityCache(*library_, pool.get());
 
   std::vector<IntervalSet> activity(tenants->size());
   std::unordered_map<TenantId, size_t> index;
@@ -233,14 +269,54 @@ Result<std::vector<IntervalSet>> LogComposer::ComposeActivity(
           const TenantLog& session) {
         // Writes only this tenant's activity slot; the session cache and
         // the index map are const by now.
-        IntervalSet& out = activity[index.at(spec.id)];
-        for (const auto& iv : session_activity.at(&session)->intervals()) {
-          SimTime begin = session_start + iv.begin;
-          if (begin >= horizon) break;
-          out.Add(begin, std::min(horizon, session_start + iv.end));
-        }
+        AppendSessionActivity(*cache.by_session.at(&session), session_start,
+                              horizon, &activity[index.at(spec.id)]);
       }));
   return activity;
+}
+
+Result<std::vector<ActivityVector>> LogComposer::ComposeActivityVectors(
+    std::vector<TenantSpec>* tenants, Rng* rng, const EpochConfig& epochs,
+    EpochizeGauge* gauge) const {
+  if (!epochs.Valid() || epochs.end < horizon_end()) {
+    return Status::InvalidArgument(
+        "epoch grid must cover the composition horizon");
+  }
+  const SimTime horizon = horizon_end();
+  std::unique_ptr<ThreadPool> pool =
+      MakeComposerPool(options_, tenants->size());
+  const SessionActivityCache cache =
+      BuildSessionActivityCache(*library_, pool.get());
+
+  std::vector<ActivityVector> vectors(tenants->size());
+  std::vector<IntervalSet> scratch(tenants->size());
+  std::unordered_map<TenantId, size_t> index;
+  for (size_t i = 0; i < tenants->size(); ++i) {
+    index[(*tenants)[i].id] = i;
+  }
+  THRIFTY_RETURN_NOT_OK(ForEachSession(
+      *library_, options_, tenants, rng, pool.get(),
+      [&](const TenantSpec& spec, SimTime session_start,
+          const TenantLog& session) {
+        AppendSessionActivity(*cache.by_session.at(&session), session_start,
+                              horizon, &scratch[index.at(spec.id)]);
+      },
+      [&](const TenantSpec& spec) {
+        // The tenant is fully composed: epochize and drop its intervals so
+        // only the sparse words outlive composition.
+        const size_t i = index.at(spec.id);
+        if (gauge != nullptr) {
+          gauge->Acquire(scratch[i].intervals().capacity() *
+                         sizeof(TimeInterval));
+        }
+        vectors[i] = EpochizeIntervals(spec.id, scratch[i], epochs, gauge);
+        if (gauge != nullptr) {
+          gauge->Release(scratch[i].intervals().capacity() *
+                         sizeof(TimeInterval));
+        }
+        scratch[i] = IntervalSet();
+      }));
+  return vectors;
 }
 
 }  // namespace thrifty

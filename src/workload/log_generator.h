@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "activity/streamed_epochizer.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "workload/query_log.h"
@@ -99,6 +100,21 @@ class LogComposer {
   /// cached per library log.
   Result<std::vector<IntervalSet>> ComposeActivity(
       std::vector<TenantSpec>* tenants, Rng* rng) const;
+
+  /// \brief Like ComposeActivity, but epochizes each tenant's intervals
+  /// into a sparse ActivityVector the moment that tenant's composition
+  /// finishes and discards the intervals.
+  ///
+  /// Identical sampling decisions as Compose/ComposeActivity for the same
+  /// seed (the produced vectors equal EpochizeIntervals over
+  /// ComposeActivity's sets), but the interval working set is bounded by
+  /// the tenants in flight rather than the whole population — at 10^6
+  /// tenants only the sparse activity words survive composition. `epochs`
+  /// must cover [0, horizon_end()); `gauge`, when non-null, is charged the
+  /// per-tenant interval + walker working state.
+  Result<std::vector<ActivityVector>> ComposeActivityVectors(
+      std::vector<TenantSpec>* tenants, Rng* rng, const EpochConfig& epochs,
+      EpochizeGauge* gauge = nullptr) const;
 
   const LogComposerOptions& options() const { return options_; }
 

@@ -1,0 +1,306 @@
+// Hierarchical shard -> solve -> merge placement (placement/hierarchical.h):
+// the logical shard partition must be a pure function of the tenant set,
+// merged plans must verify, and the returned plan must be byte-identical
+// at every num_shards x shard_jobs x solver_jobs combination.
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "placement/hierarchical.h"
+#include "placement/two_step.h"
+
+namespace thrifty {
+namespace {
+
+struct Instance {
+  std::vector<ActivityVector> activities;
+  std::vector<TenantSpec> tenants;
+};
+
+// Tenants with phase-structured activity (a handful of "time zones" over
+// the horizon) plus some all-zero tenants, from an id-keyed Rng stream so
+// any failure replays from the case seed alone.
+Instance RandomInstance(uint64_t seed, int num_tenants, size_t num_epochs) {
+  Instance inst;
+  const std::vector<int> sizes = {2, 4, 8};
+  Rng rng(seed);
+  for (TenantId id = 1; id <= num_tenants; ++id) {
+    Rng tenant_rng = rng.Fork(static_cast<uint64_t>(id));
+    DynamicBitmap bits(num_epochs);
+    size_t phase = tenant_rng.NextBounded(4) * (num_epochs / 4);
+    int runs = static_cast<int>(tenant_rng.NextInt(0, 3));
+    for (int run = 0; run < runs; ++run) {
+      size_t begin = phase + tenant_rng.NextBounded(num_epochs / 4);
+      bits.SetRange(begin, std::min(num_epochs,
+                                    begin + 4 + tenant_rng.NextBounded(24)));
+    }
+    inst.activities.push_back(ActivityVector::FromBitmap(id, bits));
+    TenantSpec spec;
+    spec.id = id;
+    spec.requested_nodes = sizes[tenant_rng.NextBounded(sizes.size())];
+    inst.tenants.push_back(spec);
+  }
+  return inst;
+}
+
+// The plan's deterministic bytes: group order, membership order, and size
+// class. Wall-clock fields are excluded on purpose.
+std::string PlanFingerprint(const GroupingSolution& solution) {
+  std::ostringstream os;
+  for (const auto& group : solution.groups) {
+    os << group.max_nodes << "[";
+    for (TenantId id : group.tenant_ids) os << id << ",";
+    os << "];";
+  }
+  return os.str();
+}
+
+// Tenant-id view of a partition, for comparing partitions computed from
+// differently-ordered item arrays.
+std::vector<std::vector<TenantId>> PartitionTenants(
+    const PackingProblem& problem,
+    const std::vector<std::vector<size_t>>& partition) {
+  std::vector<std::vector<TenantId>> out;
+  for (const auto& shard : partition) {
+    std::vector<TenantId> ids;
+    for (size_t index : shard) ids.push_back(problem.items[index].tenant_id);
+    out.push_back(std::move(ids));
+  }
+  return out;
+}
+
+TEST(HierarchicalTest, PartitionIsPureFunctionOfTenantSet) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    Instance inst = RandomInstance(seed, 240, 512);
+    auto problem = MakePackingProblem(inst.tenants, inst.activities, 3, 0.99);
+    ASSERT_TRUE(problem.ok());
+    HierarchicalOptions options;
+    options.shard_tenant_target = 48;
+    auto base = PartitionTenants(
+        *problem, ComputeShardPartition(*problem, options));
+
+    // Reverse the item array: shard membership and within-shard order must
+    // not move (the partition sorts by a strict total order over ids).
+    PackingProblem reversed = *problem;
+    std::reverse(reversed.items.begin(), reversed.items.end());
+    auto permuted = PartitionTenants(
+        reversed, ComputeShardPartition(reversed, options));
+    EXPECT_EQ(base, permuted) << "seed=" << seed;
+
+    // Parallelism knobs must not reach the partition.
+    HierarchicalOptions parallel = options;
+    parallel.num_shards = 7;
+    parallel.shard_jobs = 4;
+    parallel.solver_jobs = 3;
+    EXPECT_EQ(base, PartitionTenants(
+                        *problem, ComputeShardPartition(*problem, parallel)))
+        << "seed=" << seed;
+
+    size_t covered = 0;
+    for (const auto& shard : base) {
+      EXPECT_FALSE(shard.empty()) << "seed=" << seed;
+      covered += shard.size();
+    }
+    EXPECT_EQ(covered, problem->items.size()) << "seed=" << seed;
+  }
+}
+
+TEST(HierarchicalTest, MergedPlansVerify) {
+  for (uint64_t seed : {21u, 22u, 23u, 24u}) {
+    Instance inst = RandomInstance(seed, 300, 512);
+    auto problem = MakePackingProblem(inst.tenants, inst.activities, 3, 0.99);
+    ASSERT_TRUE(problem.ok());
+    HierarchicalOptions options;
+    options.shard_tenant_target = 64;
+    HierarchicalStats stats;
+    auto solution = SolveHierarchical(*problem, options, &stats);
+    ASSERT_TRUE(solution.ok()) << "seed=" << seed;
+    EXPECT_TRUE(VerifySolution(*problem, *solution).ok()) << "seed=" << seed;
+    EXPECT_GE(stats.num_logical_shards, 4u) << "seed=" << seed;
+    EXPECT_GE(stats.groups_before_merge, solution->groups.size())
+        << "seed=" << seed;
+  }
+}
+
+TEST(HierarchicalTest, FingerprintIdenticalAcrossParallelism) {
+  Instance inst = RandomInstance(31, 260, 512);
+  auto problem = MakePackingProblem(inst.tenants, inst.activities, 3, 0.99);
+  ASSERT_TRUE(problem.ok());
+  HierarchicalOptions base_options;
+  base_options.shard_tenant_target = 48;
+  auto base = SolveHierarchical(*problem, base_options);
+  ASSERT_TRUE(base.ok());
+  const std::string base_fp = PlanFingerprint(*base);
+
+  for (int num_shards : {1, 4, 16}) {
+    for (int solver_jobs : {1, 2, 4}) {
+      HierarchicalOptions options = base_options;
+      options.num_shards = num_shards;
+      options.solver_jobs = solver_jobs;
+      options.shard_jobs = solver_jobs;  // exercise both fan-outs at once
+      auto solution = SolveHierarchical(*problem, options);
+      ASSERT_TRUE(solution.ok())
+          << "num_shards=" << num_shards << " solver_jobs=" << solver_jobs;
+      EXPECT_EQ(base_fp, PlanFingerprint(*solution))
+          << "num_shards=" << num_shards << " solver_jobs=" << solver_jobs;
+    }
+  }
+}
+
+TEST(HierarchicalTest, MatchesFlatSolveWhenOneShard) {
+  Instance inst = RandomInstance(41, 120, 512);
+  auto problem = MakePackingProblem(inst.tenants, inst.activities, 3, 0.99);
+  ASSERT_TRUE(problem.ok());
+  auto flat = SolveTwoStep(*problem);
+  ASSERT_TRUE(flat.ok());
+
+  // One logical shard and a merge threshold of 0 disable both phases, so
+  // the hierarchical plan must reduce to the flat plan byte for byte.
+  HierarchicalOptions options;
+  options.shard_tenant_target = 4096;
+  options.merge_fill_threshold = 0;
+  HierarchicalStats stats;
+  auto hier = SolveHierarchical(*problem, options, &stats);
+  ASSERT_TRUE(hier.ok());
+  EXPECT_EQ(stats.num_logical_shards, 1u);
+  EXPECT_EQ(stats.groups_reopened, 0u);
+  EXPECT_EQ(PlanFingerprint(*flat), PlanFingerprint(*hier));
+}
+
+TEST(HierarchicalTest, DirectedEmptyAndSingleTenant) {
+  PackingProblem empty;
+  empty.num_epochs = 64;
+  auto empty_solution = SolveHierarchical(empty);
+  ASSERT_TRUE(empty_solution.ok());
+  EXPECT_TRUE(empty_solution->groups.empty());
+
+  Instance inst = RandomInstance(51, 1, 128);
+  auto problem = MakePackingProblem(inst.tenants, inst.activities, 3, 0.99);
+  ASSERT_TRUE(problem.ok());
+  // num_shards far beyond the single logical shard: the surplus batches
+  // are empty and must be harmless.
+  HierarchicalOptions options;
+  options.num_shards = 16;
+  options.shard_jobs = 4;
+  HierarchicalStats stats;
+  auto solution = SolveHierarchical(*problem, options, &stats);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(stats.num_logical_shards, 1u);
+  ASSERT_EQ(solution->groups.size(), 1u);
+  EXPECT_EQ(solution->groups[0].tenant_ids,
+            std::vector<TenantId>{inst.tenants[0].id});
+  EXPECT_TRUE(VerifySolution(*problem, *solution).ok());
+}
+
+TEST(HierarchicalTest, DirectedSingleTenantShards) {
+  // shard_tenant_target = 1: every tenant is its own logical shard; the
+  // merge pass has to stitch the singleton groups back together.
+  Instance inst = RandomInstance(61, 24, 256);
+  auto problem = MakePackingProblem(inst.tenants, inst.activities, 3, 0.99);
+  ASSERT_TRUE(problem.ok());
+  HierarchicalOptions options;
+  options.shard_tenant_target = 1;
+  HierarchicalStats stats;
+  auto solution = SolveHierarchical(*problem, options, &stats);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(stats.num_logical_shards, 24u);
+  EXPECT_EQ(stats.max_shard_tenants, 1u);
+  EXPECT_TRUE(VerifySolution(*problem, *solution).ok());
+}
+
+TEST(HierarchicalTest, DirectedAllTenantsOneFingerprint) {
+  // Identical activity everywhere: every tenant maps to the same signature
+  // and the partition falls back to the (active epochs, id) tie-break.
+  const size_t num_epochs = 256;
+  DynamicBitmap bits(num_epochs);
+  bits.SetRange(32, 96);
+  std::vector<ActivityVector> activities;
+  std::vector<TenantSpec> tenants;
+  for (TenantId id = 1; id <= 40; ++id) {
+    activities.push_back(ActivityVector::FromBitmap(id, bits));
+    TenantSpec spec;
+    spec.id = id;
+    spec.requested_nodes = 4;
+    tenants.push_back(spec);
+  }
+  ActivitySignature first = ComputeActivitySignature(activities[0], 32);
+  for (const auto& v : activities) {
+    EXPECT_TRUE(first == ComputeActivitySignature(v, 32));
+  }
+
+  auto problem = MakePackingProblem(tenants, activities, 3, 0.99);
+  ASSERT_TRUE(problem.ok());
+  HierarchicalOptions options;
+  options.shard_tenant_target = 8;
+  auto base = SolveHierarchical(*problem, options);
+  ASSERT_TRUE(base.ok());
+  EXPECT_TRUE(VerifySolution(*problem, *base).ok());
+  for (int num_shards : {1, 4, 16}) {
+    HierarchicalOptions batched = options;
+    batched.num_shards = num_shards;
+    batched.shard_jobs = 2;
+    auto solution = SolveHierarchical(*problem, batched);
+    ASSERT_TRUE(solution.ok()) << "num_shards=" << num_shards;
+    EXPECT_EQ(PlanFingerprint(*base), PlanFingerprint(*solution))
+        << "num_shards=" << num_shards;
+  }
+}
+
+TEST(HierarchicalTest, SignatureDirected) {
+  const size_t num_epochs = 1024;
+  DynamicBitmap zero(num_epochs);
+  ActivitySignature zero_sig =
+      ComputeActivitySignature(ActivityVector::FromBitmap(1, zero), 32);
+  EXPECT_EQ(zero_sig.hi, 0u);
+  EXPECT_EQ(zero_sig.lo, 0u);
+
+  // Early-horizon and late-horizon tenants must differ in the leading
+  // bands, so signature order separates phases.
+  DynamicBitmap early(num_epochs);
+  early.SetRange(0, 128);
+  DynamicBitmap late(num_epochs);
+  late.SetRange(num_epochs - 128, num_epochs);
+  auto early_sig =
+      ComputeActivitySignature(ActivityVector::FromBitmap(2, early), 32);
+  auto late_sig =
+      ComputeActivitySignature(ActivityVector::FromBitmap(3, late), 32);
+  EXPECT_FALSE(early_sig == late_sig);
+  EXPECT_TRUE(late_sig < early_sig);  // active leading bands sort higher
+  EXPECT_NE(early_sig.hi, 0u);
+  EXPECT_EQ(early_sig.lo, 0u);
+  EXPECT_NE(late_sig.lo, 0u);
+
+  // Band count is clamped; 0 and 1 behave identically.
+  auto one_band =
+      ComputeActivitySignature(ActivityVector::FromBitmap(2, early), 1);
+  auto zero_bands =
+      ComputeActivitySignature(ActivityVector::FromBitmap(2, early), 0);
+  EXPECT_TRUE(one_band == zero_bands);
+}
+
+TEST(HierarchicalTest, ParallelismKnobsClampLikeTwoStep) {
+  // HierarchicalOptions delegates job validation: 0 / negative values are
+  // the serial path, not an error, and the plan is unchanged.
+  Instance inst = RandomInstance(71, 100, 256);
+  auto problem = MakePackingProblem(inst.tenants, inst.activities, 3, 0.99);
+  ASSERT_TRUE(problem.ok());
+  HierarchicalOptions base;
+  base.shard_tenant_target = 32;
+  auto reference = SolveHierarchical(*problem, base);
+  ASSERT_TRUE(reference.ok());
+  HierarchicalOptions clamped = base;
+  clamped.shard_jobs = 0;
+  clamped.solver_jobs = -2;
+  clamped.num_shards = -5;
+  auto solution = SolveHierarchical(*problem, clamped);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(PlanFingerprint(*reference), PlanFingerprint(*solution));
+}
+
+}  // namespace
+}  // namespace thrifty

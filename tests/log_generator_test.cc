@@ -272,6 +272,61 @@ TEST_F(LogGeneratorTest, ComposeActivityIdenticalAcrossJobCounts) {
   }
 }
 
+TEST_F(LogGeneratorTest, ComposeActivityVectorsMatchStreamedEpochization) {
+  // The streamed compose->epochize path must make the same sampling
+  // decisions as ComposeActivity and produce exactly
+  // EpochizeIntervals(ComposeActivity sets) — at any job count.
+  LogComposerOptions options;
+  options.horizon_days = 10;
+  LogComposer composer(library_, options);
+  EpochConfig epochs;
+  epochs.epoch_size = 10 * kSecond;
+  epochs.begin = 0;
+  epochs.end = composer.horizon_end();
+
+  auto tenants = MakeTenants(12, 77);
+  Rng rng(78);
+  auto sets = composer.ComposeActivity(&tenants, &rng);
+  ASSERT_TRUE(sets.ok());
+
+  for (int jobs : {1, 3}) {
+    LogComposerOptions jobbed = options;
+    jobbed.jobs = jobs;
+    LogComposer streamed_composer(library_, jobbed);
+    auto streamed_tenants = MakeTenants(12, 77);
+    Rng streamed_rng(78);
+    auto vectors = streamed_composer.ComposeActivityVectors(
+        &streamed_tenants, &streamed_rng, epochs);
+    ASSERT_TRUE(vectors.ok()) << "jobs=" << jobs;
+    ASSERT_EQ(vectors->size(), sets->size());
+    for (size_t i = 0; i < vectors->size(); ++i) {
+      EXPECT_EQ(streamed_tenants[i].time_zone_offset_hours,
+                tenants[i].time_zone_offset_hours)
+          << "jobs=" << jobs << " tenant " << tenants[i].id;
+      ActivityVector expected =
+          EpochizeIntervals(tenants[i].id, (*sets)[i], epochs);
+      EXPECT_EQ((*vectors)[i].word_indices(), expected.word_indices())
+          << "jobs=" << jobs << " tenant " << tenants[i].id;
+      EXPECT_EQ((*vectors)[i].word_bits(), expected.word_bits())
+          << "jobs=" << jobs << " tenant " << tenants[i].id;
+      EXPECT_EQ((*vectors)[i].num_epochs(), expected.num_epochs())
+          << "jobs=" << jobs << " tenant " << tenants[i].id;
+    }
+  }
+
+  // An epoch grid that does not cover the horizon is rejected.
+  EpochConfig short_grid = epochs;
+  short_grid.end = composer.horizon_end() - kDay;
+  auto rejected_tenants = MakeTenants(2, 79);
+  Rng rejected_rng(80);
+  EXPECT_EQ(composer
+                .ComposeActivityVectors(&rejected_tenants, &rejected_rng,
+                                        short_grid)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST_F(LogGeneratorTest, RejectsBadOptions) {
   LogComposerOptions options;
   options.offset_hours.clear();

@@ -107,6 +107,42 @@ TEST(SolverParallelTest, TwoStepIdenticalAcrossSolverJobs) {
   }
 }
 
+TEST(SolverParallelTest, SolverJobsBelowOneClampsToSerial) {
+  // Documented contract: solver_jobs < 1 is the serial path, not an error,
+  // so option wrappers (HierarchicalOptions, sweep configs) can pass a
+  // derived value through unchecked.
+  Instance inst = RandomInstance(44, 40, 300, {2, 4});
+  auto problem = MakePackingProblem(inst.tenants, inst.activities, 3, 0.999);
+  ASSERT_TRUE(problem.ok());
+  TwoStepOptions serial;
+  auto base = SolveTwoStep(*problem, serial);
+  ASSERT_TRUE(base.ok());
+  for (int jobs : {0, -1, -7}) {
+    TwoStepOptions options;
+    options.solver_jobs = jobs;
+    auto solution = SolveTwoStep(*problem, options);
+    ASSERT_TRUE(solution.ok()) << "jobs=" << jobs;
+    ExpectSameSolution(*base, *solution,
+                       "two_step clamped jobs=" + std::to_string(jobs));
+  }
+
+  Instance small = RandomInstance(45, 8, 120, {2, 4});
+  auto exact_problem =
+      MakePackingProblem(small.tenants, small.activities, 2, 0.95);
+  ASSERT_TRUE(exact_problem.ok());
+  ExactSolverOptions exact_serial;
+  auto exact_base = SolveExact(*exact_problem, exact_serial);
+  ASSERT_TRUE(exact_base.ok()) << exact_base.status();
+  for (int jobs : {0, -3}) {
+    ExactSolverOptions options;
+    options.solver_jobs = jobs;
+    auto solution = SolveExact(*exact_problem, options);
+    ASSERT_TRUE(solution.ok()) << "jobs=" << jobs;
+    ExpectSameSolution(*exact_base, *solution,
+                       "exact clamped jobs=" + std::to_string(jobs));
+  }
+}
+
 TEST(SolverParallelTest, ExactIdenticalAcrossSolverJobs) {
   const std::vector<int> sizes = {2, 4};
   for (uint64_t seed : {5ull, 17ull, 29ull}) {
