@@ -181,24 +181,11 @@ Status AppendDedicated(const AdvisorOutput& advised, GroupId* next_id,
 }
 
 /// Deterministic membership stream of a plan: group ids with their sorted
-/// member tenant ids and node counts, in group-id order.
+/// member tenant ids and node counts, in group-id order (now the shared
+/// canonical form in placement/deployment_plan.h; format unchanged, so the
+/// committed fingerprints still compare).
 std::string PlanStream(const DeploymentPlan& plan) {
-  std::vector<const GroupDeployment*> groups;
-  for (const auto& group : plan.groups) groups.push_back(&group);
-  std::sort(groups.begin(), groups.end(),
-            [](const GroupDeployment* a, const GroupDeployment* b) {
-              return a->group_id < b->group_id;
-            });
-  std::string stream;
-  for (const GroupDeployment* group : groups) {
-    stream += "g" + std::to_string(group->group_id) + "[";
-    std::vector<TenantId> ids;
-    for (const auto& tenant : group->tenants) ids.push_back(tenant.id);
-    std::sort(ids.begin(), ids.end());
-    for (TenantId id : ids) stream += std::to_string(id) + ",";
-    stream += "]n" + std::to_string(group->cluster.TotalNodes()) + ";";
-  }
-  return stream;
+  return CanonicalMembershipStream(plan);
 }
 
 /// With CHURN_DEBUG set in the environment, dumps the plan's group-size

@@ -1,6 +1,8 @@
 #include "bench_util.h"
 
 #include <cstdio>
+
+#include "common/fnv.h"
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -146,12 +148,7 @@ BenchOptions ParseBenchArgs(int argc, char** argv,
 }
 
 uint64_t Fnv1a64(const std::string& text) {
-  uint64_t hash = 0xcbf29ce484222325ULL;
-  for (char c : text) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
+  return thrifty::Fnv1a64(std::string_view(text));
 }
 
 std::string RenderTable(const TablePrinter& table) {

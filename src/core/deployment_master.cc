@@ -14,26 +14,41 @@ Result<std::vector<DeployedGroup>> DeploymentMaster::Deploy(
   std::vector<DeployedGroup> deployed;
   deployed.reserve(plan.groups.size());
   for (const auto& group : plan.groups) {
-    DeployedGroup dg;
-    dg.group_id = group.group_id;
-    for (int nodes : group.cluster.mppdb_nodes) {
-      THRIFTY_ASSIGN_OR_RETURN(MppdbInstance * instance,
-                               cluster_->CreateInstanceOnline(nodes));
-      // Tenant placement: every member's data goes on every MPPDB of the
-      // group (replication factor A).
-      for (const auto& tenant : group.tenants) {
-        instance->AddTenant(tenant.id, tenant.data_gb);
-      }
-      dg.instances.push_back(instance);
-    }
-    std::vector<TenantId> tenant_ids;
-    tenant_ids.reserve(group.tenants.size());
-    for (const auto& tenant : group.tenants) tenant_ids.push_back(tenant.id);
-    THRIFTY_RETURN_NOT_OK(
-        router_->AddGroup(group.group_id, dg.instances, tenant_ids));
+    THRIFTY_ASSIGN_OR_RETURN(DeployedGroup dg, DeployGroup(group));
     deployed.push_back(std::move(dg));
   }
   return deployed;
+}
+
+Result<DeployedGroup> DeploymentMaster::DeployGroup(
+    const GroupDeployment& group) {
+  DeployedGroup dg;
+  dg.group_id = group.group_id;
+  for (int nodes : group.cluster.mppdb_nodes) {
+    THRIFTY_ASSIGN_OR_RETURN(MppdbInstance * instance,
+                             cluster_->CreateInstanceOnline(nodes));
+    // Tenant placement: every member's data goes on every MPPDB of the
+    // group (replication factor A).
+    for (const auto& tenant : group.tenants) {
+      instance->AddTenant(tenant.id, tenant.data_gb);
+    }
+    dg.instances.push_back(instance);
+  }
+  std::vector<TenantId> tenant_ids;
+  tenant_ids.reserve(group.tenants.size());
+  for (const auto& tenant : group.tenants) tenant_ids.push_back(tenant.id);
+  THRIFTY_RETURN_NOT_OK(
+      router_->AddGroup(group.group_id, dg.instances, tenant_ids));
+  return dg;
+}
+
+Status DeploymentMaster::UndeployGroup(
+    GroupId group_id, const std::vector<InstanceId>& instances) {
+  THRIFTY_RETURN_NOT_OK(router_->RemoveGroup(group_id));
+  for (InstanceId id : instances) {
+    THRIFTY_RETURN_NOT_OK(cluster_->DecommissionInstance(id));
+  }
+  return Status::OK();
 }
 
 }  // namespace thrifty

@@ -35,6 +35,17 @@ class DeploymentMaster {
   /// so size the cluster from DeploymentPlan::TotalNodesUsed() first.
   Result<std::vector<DeployedGroup>> Deploy(const DeploymentPlan& plan);
 
+  /// \brief Deploys a single tenant-group: one instance per cluster-design
+  /// MPPDB, every member's data on each, routing registered. The unit the
+  /// streaming service applies re-consolidation deltas with.
+  Result<DeployedGroup> DeployGroup(const GroupDeployment& group);
+
+  /// \brief Tears a group down: unregisters routing and decommissions the
+  /// given instances (they must be idle). The inverse of DeployGroup for
+  /// groups a re-consolidation cycle dissolved.
+  Status UndeployGroup(GroupId group_id,
+                       const std::vector<InstanceId>& instances);
+
  private:
   Cluster* cluster_;
   QueryRouter* router_;

@@ -4,6 +4,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/fnv.h"
 #include "common/table_printer.h"
 
 namespace thrifty {
@@ -95,6 +96,40 @@ Result<DeploymentPlan> BuildDeploymentPlan(
     plan.groups.push_back(std::move(deployment));
   }
   return plan;
+}
+
+std::string GroupMembershipStream(const GroupDeployment& group) {
+  std::string stream = "g" + std::to_string(group.group_id) + "[";
+  std::vector<TenantId> ids;
+  ids.reserve(group.tenants.size());
+  for (const auto& tenant : group.tenants) ids.push_back(tenant.id);
+  std::sort(ids.begin(), ids.end());
+  for (TenantId id : ids) stream += std::to_string(id) + ",";
+  stream += "]n" + std::to_string(group.cluster.TotalNodes()) + ";";
+  return stream;
+}
+
+std::string CanonicalMembershipStream(const DeploymentPlan& plan) {
+  std::vector<const GroupDeployment*> groups;
+  groups.reserve(plan.groups.size());
+  for (const auto& group : plan.groups) groups.push_back(&group);
+  std::sort(groups.begin(), groups.end(),
+            [](const GroupDeployment* a, const GroupDeployment* b) {
+              return a->group_id < b->group_id;
+            });
+  std::string stream;
+  for (const GroupDeployment* group : groups) {
+    stream += GroupMembershipStream(*group);
+  }
+  return stream;
+}
+
+uint64_t GroupFingerprint(const GroupDeployment& group) {
+  return Fnv1a64(GroupMembershipStream(group));
+}
+
+uint64_t PlanFingerprint(const DeploymentPlan& plan) {
+  return Fnv1a64(CanonicalMembershipStream(plan));
 }
 
 }  // namespace thrifty

@@ -76,6 +76,24 @@ Result<DeploymentPlan> BuildDeploymentPlan(
     const std::vector<TenantSpec>& tenants, const GroupingSolution& grouping,
     int replication_factor, double sla_fraction);
 
+/// \brief Canonical membership stream of one group:
+/// "g<id>[<sorted tenant ids>,]n<total nodes>;". Pure function of the
+/// group's id, member set, and cluster size — instance placement, ttp, and
+/// activity baselines are excluded, so the stream is stable across replays
+/// and re-deployments that keep the same logical grouping.
+std::string GroupMembershipStream(const GroupDeployment& group);
+
+/// \brief Canonical membership stream of a whole plan: the groups'
+/// streams concatenated in ascending group-id order.
+std::string CanonicalMembershipStream(const DeploymentPlan& plan);
+
+/// \brief FNV-1a fingerprint of GroupMembershipStream(group).
+uint64_t GroupFingerprint(const GroupDeployment& group);
+
+/// \brief FNV-1a fingerprint of CanonicalMembershipStream(plan) — the
+/// byte-identity surface of the churn / streaming determinism gates.
+uint64_t PlanFingerprint(const DeploymentPlan& plan);
+
 }  // namespace thrifty
 
 #endif  // THRIFTY_PLACEMENT_DEPLOYMENT_PLAN_H_

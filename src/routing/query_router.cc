@@ -109,6 +109,23 @@ Status QueryRouter::AddGroup(GroupId group_id,
   return Status::OK();
 }
 
+Status QueryRouter::RemoveGroup(GroupId group_id) {
+  auto it = groups_.find(group_id);
+  if (it == groups_.end()) {
+    return Status::NotFound("group " + std::to_string(group_id) +
+                            " not registered with the router");
+  }
+  groups_.erase(it);
+  for (auto tit = tenant_group_.begin(); tit != tenant_group_.end();) {
+    if (tit->second == group_id) {
+      tit = tenant_group_.erase(tit);
+    } else {
+      ++tit;
+    }
+  }
+  return Status::OK();
+}
+
 Result<RouteDecision> QueryRouter::Route(TenantId tenant) const {
   auto it = tenant_group_.find(tenant);
   if (it == tenant_group_.end()) {

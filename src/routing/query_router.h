@@ -86,6 +86,10 @@ class QueryRouter {
   Status AddGroup(GroupId group_id, std::vector<MppdbInstance*> mppdbs,
                   const std::vector<TenantId>& tenants);
 
+  /// \brief Unregisters a tenant-group: its router and every tenant mapping
+  /// pointing at it are removed (re-consolidation dissolved the group).
+  Status RemoveGroup(GroupId group_id);
+
   /// \brief Routes a query of `tenant`.
   Result<RouteDecision> Route(TenantId tenant) const;
 

@@ -1,0 +1,9 @@
+#include "sim/clock_source.h"
+
+#include "sim/engine.h"
+
+namespace thrifty {
+
+SimTime SimEngineClock::Now() const { return engine_->now(); }
+
+}  // namespace thrifty

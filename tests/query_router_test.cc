@@ -185,6 +185,24 @@ TEST(QueryRouterTest, RejectsDuplicateRegistrations) {
   EXPECT_EQ(router.AddGroup(2, {}, {7}).code(), StatusCode::kInvalidArgument);
 }
 
+TEST(QueryRouterTest, RemoveGroupUnregistersRouting) {
+  SimEngine engine;
+  MppdbInstance a(0, 2, &engine), b(1, 2, &engine);
+  QueryRouter router;
+  ASSERT_TRUE(router.AddGroup(0, {&a}, {1, 2}).ok());
+  ASSERT_TRUE(router.AddGroup(1, {&b}, {3}).ok());
+
+  ASSERT_TRUE(router.RemoveGroup(0).ok());
+  // The removed group's tenants no longer route; the other group is
+  // untouched; its id is free for re-registration.
+  EXPECT_EQ(router.Route(1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(router.Route(2).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(router.Route(3).ok());
+  EXPECT_EQ(router.RemoveGroup(0).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(router.AddGroup(0, {&a}, {1}).ok());
+  EXPECT_TRUE(router.Route(1).ok());
+}
+
 TEST(QueryRouterTest, RouterForLookups) {
   SimEngine engine;
   MppdbInstance a(0, 2, &engine);

@@ -1,0 +1,289 @@
+// Streaming service unit tests: controller dynamics, ingest validation,
+// clock sources, and small end-to-end replay identity.
+
+#include "service/streaming_service.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/engine.h"
+
+namespace thrifty {
+namespace {
+
+TEST(SlaBudgetControllerTest, HoldsWithoutFeedback) {
+  SlaBudgetController controller{SlaControllerOptions{}};
+  double initial = controller.sla_fraction();
+  controller.Observe(0, 0);
+  controller.Observe(0, 0);
+  EXPECT_EQ(controller.sla_fraction(), initial);
+  ASSERT_EQ(controller.trajectory().size(), 2u);
+  EXPECT_EQ(controller.trajectory()[0], initial);
+  EXPECT_EQ(controller.trajectory()[1], initial);
+}
+
+TEST(SlaBudgetControllerTest, TightensOnHighViolationRate) {
+  SlaControllerOptions options;
+  SlaBudgetController controller{options};
+  controller.Observe(1000, 1000);  // 100% violations, way over target
+  EXPECT_GT(controller.sla_fraction(), options.initial_sla_fraction);
+  EXPECT_LE(controller.sla_fraction(), options.max_sla_fraction);
+}
+
+TEST(SlaBudgetControllerTest, RelaxesOnZeroViolations) {
+  SlaControllerOptions options;
+  SlaBudgetController controller{options};
+  controller.Observe(1000, 0);
+  EXPECT_LT(controller.sla_fraction(), options.initial_sla_fraction);
+  EXPECT_GE(controller.sla_fraction(), options.min_sla_fraction);
+}
+
+TEST(SlaBudgetControllerTest, ClampsToConfiguredBand) {
+  SlaControllerOptions options;
+  options.gain = 100.0;  // huge steps, must still stay in band
+  SlaBudgetController controller{options};
+  for (int i = 0; i < 5; ++i) controller.Observe(100, 100);
+  EXPECT_EQ(controller.sla_fraction(), options.max_sla_fraction);
+  for (int i = 0; i < 5; ++i) controller.Observe(100, 0);
+  EXPECT_EQ(controller.sla_fraction(), options.min_sla_fraction);
+}
+
+TEST(SlaBudgetControllerTest, TrajectoryFingerprintTracksObservations) {
+  SlaBudgetController a{SlaControllerOptions{}};
+  SlaBudgetController b{SlaControllerOptions{}};
+  SlaBudgetController c{SlaControllerOptions{}};
+  for (int i = 0; i < 3; ++i) {
+    a.Observe(1000, 25);
+    b.Observe(1000, 25);
+    c.Observe(1000, 15);
+  }
+  EXPECT_EQ(a.TrajectoryFingerprint(), b.TrajectoryFingerprint());
+  EXPECT_NE(a.TrajectoryFingerprint(), c.TrajectoryFingerprint());
+}
+
+TEST(ClockSourceTest, VirtualClockIsMonotone) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.AdvanceTo(50);  // into the past: ignored
+  EXPECT_EQ(clock.Now(), 100);
+  clock.AdvanceTo(500);
+  EXPECT_EQ(clock.Now(), 500);
+  clock.Advance(-10);  // negative delta: ignored
+  EXPECT_EQ(clock.Now(), 500);
+  clock.Advance(10);
+  EXPECT_EQ(clock.Now(), 510);
+}
+
+TEST(ClockSourceTest, WallClockNeverDecreases) {
+  WallClock clock;
+  SimTime a = clock.Now();
+  SimTime b = clock.Now();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+TEST(ClockSourceTest, SimEngineClockTracksEngine) {
+  SimEngine engine;
+  SimEngineClock clock(&engine);
+  EXPECT_EQ(clock.Now(), 0);
+  engine.ScheduleAt(12345, [](SimTime) {});
+  engine.Run();
+  EXPECT_EQ(clock.Now(), 12345);
+}
+
+// --- Service fixtures -------------------------------------------------
+
+TenantSpec MakeTenant(TenantId id, int nodes) {
+  TenantSpec spec;
+  spec.id = id;
+  spec.requested_nodes = nodes;
+  spec.data_gb = nodes * kDataGbPerNode;
+  return spec;
+}
+
+/// A sparse synthetic day of activity: one minute-long query per hour,
+/// phase-shifted per tenant so members overlap little.
+std::vector<QueryLogEntry> SparseDay(TenantId id) {
+  std::vector<QueryLogEntry> entries;
+  for (int h = 0; h < 24; ++h) {
+    SimTime submit = h * kHour + (id % 7) * 5 * kMinute;
+    entries.push_back({submit, 0, kMinute, -1});
+  }
+  return entries;
+}
+
+StreamingServiceOptions SmallOptions() {
+  StreamingServiceOptions options;
+  options.reconsolidation.advisor.replication_factor = 2;
+  options.reconsolidation.activity_delta_threshold = 0.003;
+  options.history_begin = 0;
+  options.history_end = kDay;
+  options.cycle_period = kHour;
+  return options;
+}
+
+Status RegisterTenants(StreamingService* service, SimTime t,
+                       const std::vector<TenantSpec>& specs) {
+  for (const TenantSpec& spec : specs) {
+    THRIFTY_RETURN_NOT_OK(
+        service->Ingest(MakeRegisterEvent(t, spec, SparseDay(spec.id))));
+  }
+  return Status::OK();
+}
+
+TEST(StreamingServiceTest, RejectsDuplicateRegistration) {
+  StreamingService service(SmallOptions());
+  ASSERT_TRUE(RegisterTenants(&service, 0, {MakeTenant(1, 2)}).ok());
+  Status st = service.Ingest(MakeRegisterEvent(1, MakeTenant(1, 2), {}));
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(service.event_log().size(), 1u);  // rejected event not appended
+}
+
+TEST(StreamingServiceTest, RejectsUnknownTenantEvents) {
+  StreamingService service(SmallOptions());
+  EXPECT_EQ(service.Ingest(MakeDeregisterEvent(0, 77)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.Ingest(MakeActivityDriftEvent(0, 77, 2)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.Ingest(MakeGroupFailureEvent(0, 3)).code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(service.event_log().empty());
+}
+
+TEST(StreamingServiceTest, RejectsTimeRegression) {
+  StreamingService service(SmallOptions());
+  ASSERT_TRUE(RegisterTenants(&service, 100, {MakeTenant(1, 2)}).ok());
+  Status st = service.Ingest(MakeDeregisterEvent(50, 1));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("regresses"), std::string::npos);
+}
+
+TEST(StreamingServiceTest, RejectsOverfullSlaReport) {
+  StreamingService service(SmallOptions());
+  EXPECT_EQ(service.Ingest(MakeSlaReportEvent(0, 10, 11)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StreamingServiceTest, DeregisterOfPendingRegistrationCancels) {
+  StreamingService service(SmallOptions());
+  ASSERT_TRUE(
+      RegisterTenants(&service, 0, {MakeTenant(1, 2), MakeTenant(2, 2)}).ok());
+  ASSERT_TRUE(service.Ingest(MakeDeregisterEvent(1, 2)).ok());
+  ASSERT_TRUE(service.Ingest(MakeCycleMarkEvent(kHour)).ok());
+  std::vector<TenantSpec> specs = service.RegisteredSpecs();
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].id, 1);
+  // Both events stay in the log; replay reproduces the cancellation.
+  EXPECT_EQ(service.event_log().size(), 4u);
+  auto replay = StreamingService::Replay(service.EncodeLog(), SmallOptions());
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay->DecisionFingerprint(), service.DecisionFingerprint());
+}
+
+TEST(StreamingServiceTest, ConsolidatesRegisteredTenants) {
+  StreamingService service(SmallOptions());
+  std::vector<TenantSpec> specs;
+  for (TenantId id = 0; id < 6; ++id) specs.push_back(MakeTenant(id, 2));
+  ASSERT_TRUE(RegisterTenants(&service, 0, specs).ok());
+  ASSERT_TRUE(service.Ingest(MakeCycleMarkEvent(kHour)).ok());
+
+  ASSERT_EQ(service.decisions().size(), 1u);
+  const CycleDecision& decision = service.decisions()[0];
+  EXPECT_EQ(decision.cycle, 0u);
+  EXPECT_EQ(decision.time, kHour);
+  EXPECT_EQ(decision.events_consumed, 7u);
+  EXPECT_EQ(decision.plan_fingerprint, PlanFingerprint(service.current_plan()));
+
+  // Every tenant placed exactly once.
+  size_t placed = 0;
+  for (const auto& group : service.current_plan().groups) {
+    placed += group.tenants.size();
+    EXPECT_TRUE(service.current_plan().GroupOf(group.tenants[0].id).ok());
+  }
+  EXPECT_EQ(placed, specs.size());
+}
+
+TEST(StreamingServiceTest, ChurnCyclesReplayByteIdentically) {
+  StreamingService service(SmallOptions());
+  std::vector<TenantSpec> specs;
+  for (TenantId id = 0; id < 6; ++id) specs.push_back(MakeTenant(id, 2));
+  ASSERT_TRUE(RegisterTenants(&service, 0, specs).ok());
+  ASSERT_TRUE(service.Ingest(MakeCycleMarkEvent(kHour)).ok());
+  // Cycle 1: one out, one in, one drifted, feedback.
+  ASSERT_TRUE(service.Ingest(MakeDeregisterEvent(kHour + 1, 3)).ok());
+  ASSERT_TRUE(
+      service
+          .Ingest(MakeRegisterEvent(kHour + 2, MakeTenant(9, 2), SparseDay(9)))
+          .ok());
+  ASSERT_TRUE(service.Ingest(MakeActivityDriftEvent(kHour + 3, 1, 2)).ok());
+  ASSERT_TRUE(service.Ingest(MakeSlaReportEvent(kHour + 4, 500, 25)).ok());
+  ASSERT_TRUE(service.Ingest(MakeCycleMarkEvent(2 * kHour)).ok());
+  ASSERT_EQ(service.decisions().size(), 2u);
+
+  std::string encoded = service.EncodeLog();
+  auto replay = StreamingService::Replay(encoded, SmallOptions());
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay->EncodeLog(), encoded);
+  EXPECT_EQ(replay->DecisionFingerprint(), service.DecisionFingerprint());
+  EXPECT_EQ(replay->controller().TrajectoryFingerprint(),
+            service.controller().TrajectoryFingerprint());
+  EXPECT_EQ(PlanFingerprint(replay->current_plan()),
+            PlanFingerprint(service.current_plan()));
+  EXPECT_EQ(replay->min_sla_fraction(), service.min_sla_fraction());
+
+  // The de-registered tenant is gone, the fresh one placed.
+  EXPECT_FALSE(service.current_plan().GroupOf(3).ok());
+  EXPECT_TRUE(service.current_plan().GroupOf(9).ok());
+}
+
+TEST(StreamingServiceTest, SolverJobsDoNotChangeDecisions) {
+  std::vector<uint64_t> fingerprints;
+  for (int jobs : {1, 2, 4}) {
+    StreamingServiceOptions options = SmallOptions();
+    options.reconsolidation.advisor.solver_jobs = jobs;
+    StreamingService service(options);
+    std::vector<TenantSpec> specs;
+    for (TenantId id = 0; id < 8; ++id) specs.push_back(MakeTenant(id, 2));
+    ASSERT_TRUE(RegisterTenants(&service, 0, specs).ok());
+    ASSERT_TRUE(service.Ingest(MakeCycleMarkEvent(kHour)).ok());
+    ASSERT_TRUE(service.Ingest(MakeDeregisterEvent(kHour + 1, 2)).ok());
+    ASSERT_TRUE(service.Ingest(MakeCycleMarkEvent(2 * kHour)).ok());
+    fingerprints.push_back(service.DecisionFingerprint());
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+  EXPECT_EQ(fingerprints[0], fingerprints[2]);
+}
+
+TEST(StreamingServiceTest, TickRequiresClock) {
+  StreamingService service(SmallOptions());
+  auto ran = service.Tick();
+  ASSERT_FALSE(ran.ok());
+  EXPECT_EQ(ran.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StreamingServiceTest, TickHonorsCyclePeriod) {
+  StreamingService service(SmallOptions());
+  VirtualClock clock;
+  service.AttachClock(&clock);
+  ASSERT_TRUE(RegisterTenants(&service, 0, {MakeTenant(1, 2)}).ok());
+
+  auto first = service.Tick();  // no cycle ran yet: fires immediately
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(*first);
+  ASSERT_EQ(service.decisions().size(), 1u);
+
+  auto too_soon = service.Tick();  // period not yet elapsed
+  ASSERT_TRUE(too_soon.ok()) << too_soon.status();
+  EXPECT_FALSE(*too_soon);
+
+  clock.AdvanceTo(kHour);
+  auto due = service.Tick();
+  ASSERT_TRUE(due.ok()) << due.status();
+  EXPECT_TRUE(*due);
+  EXPECT_EQ(service.decisions().size(), 2u);
+  EXPECT_EQ(service.decisions()[1].time, kHour);
+}
+
+}  // namespace
+}  // namespace thrifty
