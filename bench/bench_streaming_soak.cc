@@ -69,11 +69,25 @@ int main(int argc, char** argv) {
 
   const std::string bench_name = "streaming_soak";
   bool smoke = false;
+  PsExecutorMode executor_mode = PsExecutorMode::kVirtualTime;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--executor-mode=", 16) == 0) {
+      const char* value = argv[i] + 16;
+      if (std::strcmp(value, "virtual") == 0) {
+        executor_mode = PsExecutorMode::kVirtualTime;
+      } else if (std::strcmp(value, "dense") == 0) {
+        executor_mode = PsExecutorMode::kDenseReference;
+      } else if (std::strcmp(value, "shared") == 0) {
+        executor_mode = PsExecutorMode::kSharedScan;
+      } else {
+        std::cerr << "bad value for --executor-mode (virtual|dense|shared): "
+                  << value << "\n";
+        return 2;
+      }
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -85,6 +99,7 @@ int main(int argc, char** argv) {
   soak::SoakConfig config;
   config.seed = options.seed;
   config.solver_jobs = options.solver_jobs;
+  config.executor_mode = executor_mode;
   if (!smoke) {
     config.initial_tenants = 400;
     config.cycles = 10;
@@ -99,7 +114,8 @@ int main(int argc, char** argv) {
       std::string("T=") + std::to_string(config.initial_tenants) + ", " +
           std::to_string(config.cycles) + " cycles, " +
           std::to_string(config.horizon_days) + "-day history, R=" +
-          std::to_string(config.replication_factor) +
+          std::to_string(config.replication_factor) + ", executor=" +
+          PsExecutorModeToString(config.executor_mode) +
           (smoke ? " [--smoke scenario]" : ""));
 
   const double live_start = report.ElapsedSeconds();
@@ -131,6 +147,30 @@ int main(int argc, char** argv) {
       std::cout << "replay (solver-jobs=" << jobs
                 << ") diverged from the live run\n";
       replay_identical = false;
+    }
+  }
+
+  // Cross-executor-mode identity: the planning loop never reads executor
+  // state, so a live soak on the shared-scan cluster must produce the same
+  // event log, decisions, and controller trajectory as the virtual-time
+  // one. Run the live soak again in the "other" mode and compare.
+  soak::SoakConfig cross_config = config;
+  cross_config.executor_mode =
+      config.executor_mode == PsExecutorMode::kSharedScan
+          ? PsExecutorMode::kVirtualTime
+          : PsExecutorMode::kSharedScan;
+  bool cross_mode_identical = false;
+  auto cross = soak::RunSoak(cross_config);
+  if (!cross.ok()) {
+    std::cout << "cross-mode soak ("
+              << PsExecutorModeToString(cross_config.executor_mode)
+              << ") failed: " << cross.status() << "\n";
+  } else {
+    cross_mode_identical = OutcomesMatch(*live, *cross);
+    if (!cross_mode_identical) {
+      std::cout << "cross-mode soak ("
+                << PsExecutorModeToString(cross_config.executor_mode)
+                << ") diverged from the live run's fingerprints\n";
     }
   }
 
@@ -207,12 +247,21 @@ int main(int argc, char** argv) {
             << FormatDouble(live->min_sla_fraction, 6)
             << (controller_ok ? " (in band)" : " (OUT OF BAND)") << "\n";
 
-  bool ok = replay_identical && controller_ok && coverage_ok;
+  std::cout << "Cross-mode:  "
+            << PsExecutorModeToString(config.executor_mode) << " vs "
+            << PsExecutorModeToString(cross_config.executor_mode) << " -> "
+            << (cross_mode_identical ? "identical fingerprints"
+                                     : "MISMATCH")
+            << "\n";
+
+  bool ok = replay_identical && controller_ok && coverage_ok &&
+            cross_mode_identical;
   if (!ok) {
     std::cout << "\nFAIL:";
     if (!replay_identical) std::cout << " replay-fingerprint-mismatch";
     if (!controller_ok) std::cout << " controller-out-of-band";
     if (!coverage_ok) std::cout << " cycle-coverage";
+    if (!cross_mode_identical) std::cout << " cross-executor-mode-mismatch";
     std::cout << "\n";
   }
 
@@ -237,6 +286,15 @@ int main(int argc, char** argv) {
   report.AddMetric("replay_identity_check_passed", replay_identical ? 1 : 0);
   report.AddMetric("controller_band_check_passed", controller_ok ? 1 : 0);
   report.AddMetric("coverage_check_passed", coverage_ok ? 1 : 0);
+  report.AddText("executor_mode", PsExecutorModeToString(config.executor_mode));
+  if (cross.ok()) {
+    report.AddText("cross_mode_decision_fnv1a",
+                   HexFingerprint(cross->decision_fingerprint));
+    report.AddText("cross_mode_controller_fnv1a",
+                   HexFingerprint(cross->controller_fingerprint));
+  }
+  report.AddMetric("cross_mode_identity_check_passed",
+                   cross_mode_identical ? 1 : 0);
   report.Write();
   return ok ? 0 : 1;
 }

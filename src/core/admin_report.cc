@@ -58,6 +58,13 @@ Result<ServiceStatusReport> BuildStatusReport(ThriftyService* service) {
     }
     report.groups.push_back(status);
   }
+  for (const auto& [tmpl, traffic] : service->router()->template_traffic()) {
+    TemplateUsage usage;
+    usage.template_id = tmpl;
+    usage.submitted = traffic.submitted;
+    usage.completed = traffic.completed;
+    report.template_usage.push_back(usage);
+  }
   return report;
 }
 
@@ -84,6 +91,18 @@ void PrintStatusReport(const ServiceStatusReport& report, std::ostream& os) {
                   group.scaled ? "yes" : "no"});
   }
   table.Print(os);
+  if (!report.template_usage.empty()) {
+    os << "Template traffic:\n";
+    TablePrinter templates({"template", "submitted", "completed",
+                            "in flight"});
+    for (const auto& usage : report.template_usage) {
+      templates.AddRow({std::to_string(usage.template_id),
+                        std::to_string(usage.submitted),
+                        std::to_string(usage.completed),
+                        std::to_string(usage.InFlight())});
+    }
+    templates.Print(os);
+  }
   if (!report.scaling_events.empty()) {
     os << "Elastic scaling history:\n";
     for (const auto& event : report.scaling_events) {

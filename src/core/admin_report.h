@@ -37,6 +37,15 @@ struct GroupStatus {
   bool scaled = false;
 };
 
+/// \brief One query template's traffic through the router (sorted by
+/// template id; only templates that saw traffic appear).
+struct TemplateUsage {
+  TemplateId template_id = -1;
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t InFlight() const { return submitted - completed; }
+};
+
 /// \brief Whole-service snapshot.
 struct ServiceStatusReport {
   SimTime generated_at = 0;
@@ -45,6 +54,9 @@ struct ServiceStatusReport {
   ServiceMetrics metrics;
   std::vector<GroupStatus> groups;
   std::vector<ScalingEvent> scaling_events;
+  /// Per-template submit/complete counters — the operator's view of which
+  /// templates are hot enough for shared-scan batching to pay off.
+  std::vector<TemplateUsage> template_usage;
 };
 
 /// \brief Builds a snapshot of a deployed service.

@@ -101,6 +101,7 @@ Result<InstanceId> ThriftyService::SubmitQuery(TenantId tenant,
   Status shadow_st = shadows_.at(tenant)->Submit(submission, tmpl);
   assert(shadow_st.ok());
   (void)shadow_st;
+  router_.RecordTemplateSubmit(template_id);
   monitor_.OnQueryStart(tenant, engine_->now());
   return decision.instance->id();
 }
@@ -110,6 +111,7 @@ void ThriftyService::OnRealCompletion(const QueryCompletion& completion) {
                                      completion.finish_time);
   assert(st.ok());
   (void)st;
+  router_.RecordTemplateComplete(completion.template_id);
   PendingOutcome& pending = pending_[completion.query_id];
   pending.real = completion;
   pending.real_done = true;

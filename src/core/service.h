@@ -131,6 +131,7 @@ class ThriftyService {
 
   SimEngine* engine() { return engine_; }
   Cluster* cluster() { return cluster_; }
+  const QueryCatalog* catalog() const { return catalog_; }
 
  private:
   void OnRealCompletion(const QueryCompletion& completion);

@@ -32,6 +32,8 @@ const char* PsExecutorModeToString(PsExecutorMode mode) {
       return "virtual-time";
     case PsExecutorMode::kDenseReference:
       return "dense-reference";
+    case PsExecutorMode::kSharedScan:
+      return "shared-scan";
   }
   return "unknown";
 }
@@ -89,7 +91,10 @@ double MppdbInstance::SpeedFactor() const {
 }
 
 void MppdbInstance::AdvanceVirtualTime(SimTime now) {
-  size_t k = RunningCount();
+  // The egalitarian share divides capacity among *slots*: shared batches in
+  // kSharedScan, individual queries otherwise (identical values — and
+  // identical FP arithmetic — whenever no batch has more than one member).
+  size_t k = SlotCount();
   if (k > 0 && now > last_progress_update_) {
     double share = SpeedFactor() / static_cast<double>(k);
     virtual_now_ +=
@@ -180,7 +185,7 @@ size_t MppdbInstance::RescheduleCompletion() {
     min_remaining = heap_.front().finish_tag - virtual_now_;
     touched = 1;
   }
-  double share = SpeedFactor() / static_cast<double>(k);
+  double share = SpeedFactor() / static_cast<double>(SlotCount());
   // Wall time until the least-remaining query completes under the current
   // share. Ceil so the event never fires before the true completion.
   SimDuration wait = static_cast<SimDuration>(
@@ -230,6 +235,13 @@ void MppdbInstance::OnCompletionEvent(SimTime now) {
                 return a.admission_seq < b.admission_seq;
               });
     for (const RunningQuery& q : batch) done.push_back(MakeCompletion(q, now));
+    if (mode_ == PsExecutorMode::kSharedScan) {
+      // Free slots before rescheduling so the next event's share reflects
+      // the post-completion batch count. A batch's largest tag belongs to a
+      // still-pending member whenever the batch is open (completions are
+      // downward closed in tag order), so closing here is never premature.
+      for (const RunningQuery& q : batch) CloseOutBatchMember(q);
+    }
   }
   for (const QueryCompletion& c : done) {
     auto it = running_per_tenant_.find(c.tenant_id);
@@ -248,6 +260,16 @@ void MppdbInstance::OnCompletionEvent(SimTime now) {
   // follow-up queries to this very instance.
   if (on_completion_) {
     for (const auto& c : done) on_completion_(c);
+  }
+}
+
+void MppdbInstance::CloseOutBatchMember(const RunningQuery& q) {
+  auto it = batches_.find(q.batch_key);
+  assert(it != batches_.end());
+  assert(it->second.members > 0);
+  if (--it->second.members == 0) {
+    open_batch_by_template_.erase(it->second.template_id);
+    batches_.erase(it);
   }
 }
 
@@ -281,9 +303,49 @@ Status MppdbInstance::Submit(const QuerySubmission& submission,
   q.submit_time = now;
   q.dedicated_latency = tmpl.DedicatedLatency(it->second, nodes_);
   q.reference_latency = submission.reference_latency;
-  q.finish_tag = virtual_now_ + static_cast<double>(q.dedicated_latency);
   q.admission_seq = ++admission_counter_;
-  int k = static_cast<int>(RunningCount()) + 1;
+
+  bool joined_batch = false;
+  SimDuration slot_work = q.dedicated_latency;
+  auto open_it = mode_ == PsExecutorMode::kSharedScan
+                     ? open_batch_by_template_.find(tmpl.id)
+                     : open_batch_by_template_.end();
+  if (open_it != open_batch_by_template_.end()) {
+    // Merge into the in-flight batch for this template: the scan is already
+    // paid for, so the joiner only appends its serial + merge delta past the
+    // batch's last finish tag. Tags stay immutable and strictly increasing
+    // within a batch, so the heap invariant is untouched.
+    SharedBatch& batch = batches_.at(open_it->second);
+    slot_work = tmpl.SharedJoinDelta(it->second, nodes_);
+    q.finish_tag = batch.last_tag + static_cast<double>(slot_work);
+    q.batch_key = open_it->second;
+    batch.last_tag = q.finish_tag;
+    ++batch.members;
+    joined_batch = true;
+  } else {
+    // Identical tag arithmetic to kVirtualTime, so a shared-scan run whose
+    // batches are all singletons is bit-for-bit the virtual-time run.
+    q.finish_tag = virtual_now_ + static_cast<double>(q.dedicated_latency);
+    if (mode_ == PsExecutorMode::kSharedScan) {
+      uint64_t key = ++batch_counter_;
+      q.batch_key = key;
+      SharedBatch batch;
+      batch.template_id = tmpl.id;
+      batch.members = 1;
+      batch.last_tag = q.finish_tag;
+      batches_.emplace(key, batch);
+      open_batch_by_template_.emplace(tmpl.id, key);
+    }
+  }
+
+  // Concurrency is counted in slots: under shared scan a joiner does not
+  // raise the pressure on anyone else's share. With all-singleton batches
+  // SlotCount() (batch bookkeeping is already done, the query itself is not
+  // yet pushed) equals the non-shared RunningCount() + 1, so the recorded
+  // peaks (and thus max_concurrency in completions) match byte for byte.
+  int k = mode_ == PsExecutorMode::kSharedScan
+              ? static_cast<int>(SlotCount())
+              : static_cast<int>(RunningCount()) + 1;
   q.concurrency_at_admission = k;
 
   uint64_t touched = 1;
@@ -299,6 +361,15 @@ Status MppdbInstance::Submit(const QuerySubmission& submission,
   if (SimCostGauge* gauge = engine_->cost_gauge()) {
     gauge->RecordSubmit(touched);
     gauge->RecordRunningSetSize(RunningCount());
+    gauge->RecordSlotWork(static_cast<uint64_t>(q.dedicated_latency),
+                          static_cast<uint64_t>(slot_work));
+    if (mode_ == PsExecutorMode::kSharedScan) {
+      if (joined_batch) {
+        gauge->RecordBatchJoin();
+      } else {
+        gauge->RecordBatchOpen();
+      }
+    }
   }
   return Status::OK();
 }

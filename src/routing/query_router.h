@@ -11,6 +11,7 @@
 #ifndef THRIFTY_ROUTING_QUERY_ROUTER_H_
 #define THRIFTY_ROUTING_QUERY_ROUTER_H_
 
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -79,6 +80,14 @@ class GroupRouter {
   mutable std::unordered_map<RouteKind, int64_t> counters_;
 };
 
+/// \brief Per-template traffic counters kept by the router. Shared-scan
+/// batching only pays off on templates that are hot at the same time, so the
+/// admin report surfaces which templates carry the traffic.
+struct TemplateTraffic {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+};
+
 /// \brief Service-wide router: tenant -> group -> Algorithm 1.
 class QueryRouter {
  public:
@@ -98,9 +107,26 @@ class QueryRouter {
 
   Result<GroupRouter*> RouterForGroup(GroupId group_id);
 
+  /// \brief Counts one routed submission of `tmpl`.
+  void RecordTemplateSubmit(TemplateId tmpl) {
+    ++template_traffic_[tmpl].submitted;
+  }
+
+  /// \brief Counts one completion of `tmpl`.
+  void RecordTemplateComplete(TemplateId tmpl) {
+    ++template_traffic_[tmpl].completed;
+  }
+
+  /// \brief Per-template submit/complete counters, ordered by template id
+  /// (deterministic iteration for reports and fingerprints).
+  const std::map<TemplateId, TemplateTraffic>& template_traffic() const {
+    return template_traffic_;
+  }
+
  private:
   std::unordered_map<GroupId, GroupRouter> groups_;
   std::unordered_map<TenantId, GroupId> tenant_group_;
+  std::map<TemplateId, TemplateTraffic> template_traffic_;
 };
 
 }  // namespace thrifty

@@ -82,6 +82,45 @@ TEST_F(AdminReportTest, PrintedReportMentionsKeyFacts) {
   EXPECT_NE(text.find("100.00%"), std::string::npos);
 }
 
+TEST_F(AdminReportTest, TemplateTrafficCounters) {
+  ServiceOptions options;
+  options.replication_factor = 2;
+  options.elastic_scaling = false;
+  ThriftyService service(&engine_, &cluster_, &catalog_, options);
+  ASSERT_TRUE(service.Deploy(MakePlan()).ok());
+
+  TemplateId q1 = *catalog_.FindByName("TPCH-Q1");
+  TemplateId q19 = *catalog_.FindByName("TPCH-Q19");
+  ASSERT_TRUE(service.SubmitQuery(0, q1).ok());
+  ASSERT_TRUE(service.SubmitQuery(1, q1).ok());
+  ASSERT_TRUE(service.SubmitQuery(2, q19).ok());
+
+  // Mid-flight: everything submitted, nothing completed.
+  auto mid = BuildStatusReport(&service);
+  ASSERT_TRUE(mid.ok());
+  ASSERT_EQ(mid->template_usage.size(), 2u);
+  EXPECT_EQ(mid->template_usage[0].template_id, std::min(q1, q19));
+  EXPECT_EQ(mid->template_usage[1].template_id, std::max(q1, q19));
+  for (const TemplateUsage& usage : mid->template_usage) {
+    EXPECT_EQ(usage.submitted, usage.template_id == q1 ? 2 : 1);
+    EXPECT_EQ(usage.completed, 0);
+    EXPECT_EQ(usage.InFlight(), usage.submitted);
+  }
+
+  engine_.Run();
+  auto after = BuildStatusReport(&service);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->template_usage.size(), 2u);
+  for (const TemplateUsage& usage : after->template_usage) {
+    EXPECT_EQ(usage.completed, usage.submitted);
+    EXPECT_EQ(usage.InFlight(), 0);
+  }
+
+  std::ostringstream os;
+  PrintStatusReport(*after, os);
+  EXPECT_NE(os.str().find("Template traffic:"), std::string::npos);
+}
+
 TEST_F(AdminReportTest, NullServiceRejected) {
   EXPECT_EQ(BuildStatusReport(nullptr).status().code(),
             StatusCode::kInvalidArgument);
